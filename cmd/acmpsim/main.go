@@ -1,0 +1,167 @@
+// Command acmpsim runs one benchmark on one ACMP configuration and
+// prints a full result report: execution time, per-section IPC, worker
+// MPKI, access ratio, CPI stack, bus and DRAM statistics.
+//
+// Usage:
+//
+//	acmpsim -bench FT -org worker-shared -cpc 8 -icache 16 -lb 4 -buses 2
+//
+// Traces are synthesised in-process by default; pass -traces DIR to
+// replay binary trace files produced by cmd/tracegen instead (the
+// paper's Fig 6 flow: trace once, simulate many configurations).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/synth"
+	"sharedicache/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "FT", "benchmark name (see -listbench)")
+		org     = flag.String("org", "private", "I-cache organization: private, worker-shared, all-shared")
+		cpc     = flag.Int("cpc", 8, "worker cores per shared I-cache (worker-shared only)")
+		icache  = flag.Int("icache", 32, "I-cache size in KB")
+		lb      = flag.Int("lb", 4, "line buffers per core")
+		buses   = flag.Int("buses", 1, "buses per shared I-cache (1 or 2)")
+		workers = flag.Int("workers", 8, "worker core count")
+		n       = flag.Uint64("n", 200_000, "master-thread instruction budget")
+		seed    = flag.Uint64("seed", 1, "workload synthesis seed")
+		cold    = flag.Bool("cold", false, "start with cold caches instead of steady state")
+		traces  = flag.String("traces", "", "directory of <bench>.tNN.trace files from cmd/tracegen (replaces synthesis)")
+		list    = flag.Bool("listbench", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range synth.Profiles() {
+			fmt.Printf("%-10s %-8s serial=%.1f%% BBser=%dB BBpar=%dB\n",
+				p.Name, p.Suite, 100*p.SerialFrac, p.SerialBB, p.ParallelBB)
+		}
+		return
+	}
+
+	p, ok := synth.ProfileByName(*bench)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q (try -listbench)", *bench))
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.ICache.SizeBytes = *icache << 10
+	cfg.LineBuffers = *lb
+	cfg.Buses = *buses
+	switch *org {
+	case "private":
+		cfg.Organization = core.OrgPrivate
+		cfg.CPC = 1
+	case "worker-shared":
+		cfg.Organization = core.OrgWorkerShared
+		cfg.CPC = *cpc
+	case "all-shared":
+		cfg.Organization = core.OrgAllShared
+	default:
+		fatal(fmt.Errorf("unknown organization %q", *org))
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	w, err := synth.New(p, synth.Config{Workers: *workers, MasterInstructions: *n, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	srcs := make([]trace.Source, w.NumThreads())
+	ic := make([][]uint64, w.NumThreads())
+	l2 := make([][]uint64, w.NumThreads())
+	var closers []*os.File
+	for i := range srcs {
+		if *traces != "" {
+			path := filepath.Join(*traces, fmt.Sprintf("%s.t%02d.trace", *bench, i))
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(fmt.Errorf("trace replay: %w (generate with cmd/tracegen)", err))
+			}
+			closers = append(closers, f)
+			srcs[i] = trace.NewReader(bufio.NewReaderSize(f, 1<<20))
+		} else {
+			srcs[i] = w.Source(i)
+		}
+		ic[i] = w.WarmLines(i, cfg.ICache.LineBytes)
+		l2[i] = w.L2WarmLines(i, cfg.Mem.L2.LineBytes)
+	}
+	sim, err := core.New(cfg, srcs)
+	if err != nil {
+		fatal(err)
+	}
+	if !*cold {
+		sim.Prewarm(ic, l2)
+	}
+	res, err := sim.Run()
+	for _, f := range closers {
+		f.Close()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	report(res)
+}
+
+func report(r *core.Result) {
+	fmt.Printf("benchmark run: %s I-cache, %d workers\n",
+		r.Config.Organization, r.Config.Workers)
+	fmt.Printf("  cycles              %d\n", r.Cycles)
+	fmt.Printf("  instructions        %d (master %d, workers %d)\n",
+		r.TotalInstructions(), r.Cores[0].Instructions, r.WorkerInstructions())
+	fmt.Printf("  worker MPKI         %.4f\n", r.WorkerMPKI())
+	fmt.Printf("  master MPKI         %.4f\n", r.MasterICache.MPKI(r.Cores[0].Instructions))
+	fmt.Printf("  access ratio        %.1f%%\n", 100*r.WorkerAccessRatio())
+	fmt.Printf("  merged fills        %d\n", r.MergedFills)
+	fmt.Printf("  bus: submitted=%d granted=%d avg wait=%.2f cyc\n",
+		r.Bus.Submitted, r.Bus.Granted, r.Bus.AvgWait())
+	fmt.Printf("  DRAM: accesses=%d row hits=%d conflicts=%d\n",
+		r.DRAM.Accesses, r.DRAM.RowHits, r.DRAM.RowConflicts)
+	fmt.Printf("  runtime: regions=%d barriers=%d acquires=%d contended=%d\n",
+		r.Runtime.Regions, r.Runtime.Barriers, r.Runtime.Acquires, r.Runtime.Contended)
+
+	stack := r.WorkerStack()
+	total := float64(stack.Total())
+	fmt.Printf("  worker CPI stack:\n")
+	pct := func(v uint64) float64 { return 100 * float64(v) / total }
+	fmt.Printf("    busy        %6.2f%%\n", pct(stack.Busy))
+	fmt.Printf("    branch      %6.2f%%\n", pct(stack.Branch))
+	fmt.Printf("    bus queue   %6.2f%%\n", pct(stack.BusQueue))
+	fmt.Printf("    bus latency %6.2f%%\n", pct(stack.BusLatency))
+	fmt.Printf("    cache hit   %6.2f%%\n", pct(stack.CacheHit))
+	fmt.Printf("    cache miss  %6.2f%%\n", pct(stack.CacheMiss))
+	fmt.Printf("    sync        %6.2f%%\n", pct(stack.Sync))
+	fmt.Printf("    drain       %6.2f%%\n", pct(stack.Drain))
+
+	fmt.Printf("  per-core:\n")
+	for i, c := range r.Cores {
+		role := "worker"
+		if i == 0 {
+			role = "master"
+		}
+		cyc := c.SerialCycles + c.ParallelCycles
+		ipc := 0.0
+		if cyc > 0 {
+			ipc = float64(c.Instructions) / float64(cyc)
+		}
+		fmt.Printf("    core %d (%s): instr=%d ipc=%.3f serial=%d par=%d mispredicts=%d\n",
+			i, role, c.Instructions, ipc, c.SerialInstructions, c.ParallelInstructions,
+			c.FE.Mispredicts)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acmpsim:", err)
+	os.Exit(1)
+}

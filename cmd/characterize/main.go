@@ -1,0 +1,63 @@
+// Command characterize reproduces the paper's §II workload
+// characterisation (Figures 2-4): basic-block lengths, I-cache MPKI
+// and instruction sharing, measured on synthetic traces without cycle
+// simulation.
+//
+// Usage:
+//
+//	characterize [-n instr] [-bench BT,CG] [-workers 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sharedicache/internal/experiments"
+)
+
+func main() {
+	var (
+		n       = flag.Uint64("n", 2_000_000, "master-thread instructions per benchmark")
+		workers = flag.Int("workers", 8, "worker thread count")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 24)")
+		seed    = flag.Uint64("seed", 1, "synthesis seed")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Workers = *workers
+	opts.Seed = *seed
+	opts.CharInstructions = *n
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fig2, err := experiments.Fig2(runner)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(fig2.Table().String())
+
+	fig3, err := experiments.Fig3(runner)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(fig3.Table().String())
+
+	fig4, err := experiments.Fig4(runner)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(fig4.Table().String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

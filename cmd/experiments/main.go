@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-fig all|fig1|...|fig13|table1] [-n instr] [-workers n]
+//	            [-bench BT,CG,...] [-seed s] [-cold] [-list]
+//
+// Each figure prints as an aligned text table whose rows/series match
+// the paper's plot. See EXPERIMENTS.md for the paper-vs-measured
+// record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sharedicache/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment id (fig1..fig13, table1) or 'all'")
+		n       = flag.Uint64("n", 0, "master-thread instructions per benchmark (0 = default)")
+		workers = flag.Int("workers", 0, "worker core count (0 = default 8)")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 24)")
+		seed    = flag.Uint64("seed", 0, "workload synthesis seed (0 = default)")
+		cold    = flag.Bool("cold", false, "disable steady-state cache prewarming for timing runs")
+		format  = flag.String("format", "text", "output format: text, csv, json")
+		chart   = flag.Int("chart", -1, "also render column N (0-based) as an ASCII bar chart")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *n > 0 {
+		opts.Instructions = *n
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+	if *seed > 0 {
+		opts.Seed = *seed
+	}
+	if *cold {
+		opts.Prewarm = false
+	}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	var selected []experiments.Experiment
+	if *fig == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(runner)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		tbl := res.Table()
+		switch *format {
+		case "text":
+			fmt.Println(tbl.String())
+		case "csv":
+			fmt.Print(tbl.CSV())
+			fmt.Println()
+		case "json":
+			raw, err := tbl.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(raw))
+		default:
+			fatal(fmt.Errorf("unknown format %q (text, csv, json)", *format))
+		}
+		if *chart >= 0 {
+			fmt.Println(tbl.Bars(*chart, 50, 1.0))
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v, %d cached runs]\n\n",
+			e.ID, time.Since(start).Round(time.Millisecond), runner.CachedRuns())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// Command sweep explores the shared-I-cache design space for a set of
+// benchmarks and emits one CSV row per (benchmark, design point):
+// normalised execution time, worker MPKI, access ratio, bus wait, and
+// the area/energy ratios from the power model. The output is meant for
+// plotting or spreadsheet analysis; examples/designspace is the
+// human-readable variant.
+//
+// Usage:
+//
+//	sweep -bench UA,FT -cpc 2,4,8 -size 16,32 -lb 4 -buses 1,2 > sweep.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/experiments"
+	"sharedicache/internal/power"
+	"sharedicache/internal/synth"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "UA,FT,LULESH", "comma-separated benchmarks")
+		cpcs    = flag.String("cpc", "2,4,8", "sharing degrees to sweep")
+		sizes   = flag.String("size", "16,32", "shared I-cache sizes in KB")
+		lbs     = flag.String("lb", "4", "line-buffer counts")
+		buses   = flag.String("buses", "1,2", "bus counts")
+		n       = flag.Uint64("n", 80_000, "master instructions per run")
+		workers = flag.Int("workers", 8, "worker core count")
+		seed    = flag.Uint64("seed", 1, "synthesis seed")
+		cold    = flag.Bool("cold", false, "cold caches instead of steady state")
+	)
+	flag.Parse()
+
+	benches := strings.Split(*bench, ",")
+	for _, b := range benches {
+		if _, ok := synth.ProfileByName(b); !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", b))
+		}
+	}
+	opts := experiments.DefaultOptions()
+	opts.Workers = *workers
+	opts.Instructions = *n
+	opts.Seed = *seed
+	opts.Prewarm = !*cold
+	opts.Benchmarks = benches
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+	tech := power.Default45nm()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	_ = w.Write([]string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
+		"time_ratio", "worker_mpki", "access_ratio", "bus_avg_wait",
+		"area_ratio", "energy_ratio"})
+
+	for _, b := range benches {
+		baseCfg := core.DefaultConfig()
+		baseCfg.Workers = *workers
+		base, err := runner.Simulate(b, baseCfg)
+		if err != nil {
+			fatal(err)
+		}
+		baseRep, err := tech.Evaluate(clusterFor(baseCfg), activityFor(base))
+		if err != nil {
+			fatal(err)
+		}
+		for _, cpc := range ints(t(*cpcs)) {
+			if *workers%cpc != 0 || cpc < 2 {
+				continue
+			}
+			for _, kb := range ints(t(*sizes)) {
+				for _, lb := range ints(t(*lbs)) {
+					for _, bus := range ints(t(*buses)) {
+						cfg := core.DefaultConfig()
+						cfg.Workers = *workers
+						cfg.Organization = core.OrgWorkerShared
+						cfg.CPC = cpc
+						cfg.ICache.SizeBytes = kb << 10
+						cfg.LineBuffers = lb
+						cfg.Buses = bus
+						if err := cfg.Validate(); err != nil {
+							continue
+						}
+						res, err := runner.Simulate(b, cfg)
+						if err != nil {
+							fatal(err)
+						}
+						rep, err := tech.Evaluate(clusterFor(cfg), activityFor(res))
+						if err != nil {
+							fatal(err)
+						}
+						_, er, ar := rep.Relative(baseRep)
+						_ = w.Write([]string{
+							b,
+							strconv.Itoa(cpc), strconv.Itoa(kb),
+							strconv.Itoa(lb), strconv.Itoa(bus),
+							f(float64(res.Cycles) / float64(base.Cycles)),
+							f(res.WorkerMPKI()),
+							f(res.WorkerAccessRatio()),
+							f(res.Bus.AvgWait()),
+							f(ar), f(er),
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// clusterFor maps a simulator config to the power model's cluster.
+func clusterFor(cfg core.Config) power.Cluster {
+	cl := power.Cluster{
+		Workers:            cfg.Workers,
+		Cache:              cfg.ICache,
+		LineBuffersPerCore: cfg.LineBuffers,
+	}
+	if cfg.Organization == core.OrgWorkerShared {
+		cl.Caches = cfg.Workers / cfg.CPC
+		cl.BusesPerCache = cfg.Buses
+		cl.BusWidthBytes = cfg.BusWidthBytes
+		cl.SharedCacheOverhead = 0.25
+		cl.Cache.Banks = cfg.Buses
+	} else {
+		cl.Caches = cfg.Workers
+	}
+	return cl
+}
+
+// activityFor extracts the energy-model counters from a result.
+func activityFor(res *core.Result) power.Activity {
+	var lineNeeds, cacheFetches uint64
+	for _, c := range res.Cores[1:] {
+		lineNeeds += c.FE.LineNeeds
+		cacheFetches += c.FE.CacheFetches
+	}
+	return power.Activity{
+		Cycles:          res.Cycles,
+		Instructions:    res.WorkerInstructions(),
+		CacheAccesses:   res.WorkerICache.Accesses,
+		BusTransactions: res.Bus.Granted,
+		LineBufferHits:  lineNeeds - cacheFetches,
+	}
+}
+
+func t(s string) []string { return strings.Split(s, ",") }
+
+func ints(parts []string) []int {
+	var out []int
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q", p))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

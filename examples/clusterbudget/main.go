@@ -1,0 +1,79 @@
+// Clusterbudget: the §VI-D thought experiment — spend the area saved
+// by sharing the I-cache on an extra lean core, and estimate the
+// throughput gained for the same silicon budget.
+//
+// The example sizes three worker clusters with the McPAT/CACTI-style
+// model, then uses the Hill-Marty model to translate core counts into
+// parallel-throughput speedup at a given serial fraction:
+//
+//  1. baseline:     8 workers, private 32 KB I-caches
+//  2. shared:       8 workers, one 16 KB I-cache, double bus
+//  3. shared+core:  9 workers, same shared front-end, bought with the
+//     area saving
+//
+// Run with:
+//
+//	go run ./examples/clusterbudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sharedicache"
+)
+
+func main() {
+	tech := sharedicache.Default45nm()
+	cache32 := sharedicache.DefaultConfig().ICache
+	cache16 := cache32
+	cache16.SizeBytes = 16 << 10
+	cache16.Banks = 2
+
+	private8 := sharedicache.Cluster{
+		Workers: 8, Caches: 8, Cache: cache32, LineBuffersPerCore: 4,
+	}
+	shared8 := sharedicache.Cluster{
+		Workers: 8, Caches: 1, Cache: cache16,
+		BusesPerCache: 2, BusWidthBytes: 32,
+		LineBuffersPerCore: 4, SharedCacheOverhead: 0.25,
+	}
+	shared9 := shared8
+	shared9.Workers = 9
+
+	a8p := area(tech, private8)
+	a8s := area(tech, shared8)
+	a9s := area(tech, shared9)
+
+	fmt.Println("worker-cluster area budgets (paper §VI-D):")
+	fmt.Printf("  8 workers, private 32KB I-caches: %7.3f mm^2\n", a8p)
+	fmt.Printf("  8 workers, shared 16KB + 2 buses: %7.3f mm^2 (%.1f%% saved)\n",
+		a8s, 100*(1-a8s/a8p))
+	fmt.Printf("  9 workers, shared 16KB + 2 buses: %7.3f mm^2\n", a9s)
+	if a9s <= a8p {
+		fmt.Printf("  -> the saving pays for a 9th core with %.3f mm^2 to spare\n\n", a8p-a9s)
+	} else {
+		fmt.Printf("  -> a 9th core overshoots the baseline budget by %.3f mm^2\n\n", a9s-a8p)
+	}
+
+	// Translate the extra core into end-to-end speedup with the Fig 1
+	// model: an ACMP with one 4-BCE master plus N worker BCEs.
+	fmt.Println("Hill-Marty speedup for the same chip budget (master = 4 BCE):")
+	fmt.Printf("  %-10s %12s %12s %10s\n", "serial", "8 workers", "9 workers", "gain")
+	for _, f := range []float64{0.0, 0.01, 0.05, 0.10, 0.20} {
+		acmp8 := sharedicache.CMPDesign{Name: "8w", BudgetBCE: 12, BigBCE: 4, BigCores: 1}
+		acmp9 := sharedicache.CMPDesign{Name: "9w", BudgetBCE: 13, BigBCE: 4, BigCores: 1}
+		s8, s9 := acmp8.Speedup(f), acmp9.Speedup(f)
+		fmt.Printf("  %9.0f%% %12.3f %12.3f %9.2f%%\n", 100*f, s8, s9, 100*(s9/s8-1))
+	}
+	fmt.Println("\n(the gain shrinks with the serial fraction: extra lean cores")
+	fmt.Println(" only help parallel code — the ACMP argument of Fig 1)")
+}
+
+func area(tech sharedicache.Tech, c sharedicache.Cluster) float64 {
+	a, err := tech.ClusterArea(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return a.TotalMM2()
+}

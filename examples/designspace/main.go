@@ -1,0 +1,144 @@
+// Designspace: sweep the shared-I-cache design space for one workload
+// — sharing degree (cpc), cache size, line buffers and bus count — and
+// print the (time, energy, area) frontier so an architect can pick a
+// design point. This is the §VI exploration as a library user would
+// rerun it for their own workload.
+//
+// Run with:
+//
+//	go run ./examples/designspace [-bench UA] [-n 200000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sharedicache"
+)
+
+func main() {
+	bench := flag.String("bench", "UA", "benchmark to explore")
+	n := flag.Uint64("n", 200_000, "master instruction budget")
+	flag.Parse()
+
+	profile, ok := sharedicache.ProfileByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	workload, err := sharedicache.NewWorkload(profile, sharedicache.WorkloadConfig{
+		Workers: 8, MasterInstructions: *n, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := sharedicache.Default45nm()
+
+	type point struct {
+		name               string
+		cfg                sharedicache.Config
+		time, energy, area float64
+		mpki               float64
+	}
+
+	base := simulate(workload, sharedicache.DefaultConfig())
+	baseRep := evaluate(tech, sharedicache.DefaultConfig(), base)
+
+	var frontier []point
+	for _, cpc := range []int{2, 4, 8} {
+		for _, sizeKB := range []int{16, 32} {
+			for _, lb := range []int{2, 4, 8} {
+				for _, buses := range []int{1, 2} {
+					cfg := sharedicache.DefaultConfig()
+					cfg.Organization = sharedicache.OrgWorkerShared
+					cfg.CPC = cpc
+					cfg.ICache.SizeBytes = sizeKB << 10
+					cfg.LineBuffers = lb
+					cfg.Buses = buses
+					res := simulate(workload, cfg)
+					rep := evaluate(tech, cfg, res)
+					tr, er, ar := rep.Relative(baseRep)
+					frontier = append(frontier, point{
+						name: fmt.Sprintf("cpc=%d %2dKB %dLB %dbus", cpc, sizeKB, lb, buses),
+						cfg:  cfg, time: tr, energy: er, area: ar,
+						mpki: res.WorkerMPKI(),
+					})
+				}
+			}
+		}
+	}
+
+	fmt.Printf("design space for %s (normalized to private 32KB baseline)\n\n", *bench)
+	fmt.Printf("%-22s %7s %7s %7s %9s\n", "design", "time", "energy", "area", "MPKI")
+	fmt.Printf("%-22s %7.3f %7.3f %7.3f %9.4f\n", "baseline", 1.0, 1.0, 1.0, base.WorkerMPKI())
+	var best *point
+	for i := range frontier {
+		p := &frontier[i]
+		fmt.Printf("%-22s %7.3f %7.3f %7.3f %9.4f\n", p.name, p.time, p.energy, p.area, p.mpki)
+		// The paper's criterion: no performance loss (within 1%), then
+		// minimize energy.
+		if p.time <= 1.01 && (best == nil || p.energy < best.energy) {
+			best = p
+		}
+	}
+	if best != nil {
+		fmt.Printf("\nbest no-performance-loss design: %s (energy %.3f, area %.3f)\n",
+			best.name, best.energy, best.area)
+	} else {
+		fmt.Println("\nno shared design holds performance within 1% for this workload")
+	}
+}
+
+func simulate(w *sharedicache.Workload, cfg sharedicache.Config) *sharedicache.Result {
+	sim, err := sharedicache.NewSimulator(cfg, w.Sources())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Explore steady state, as the paper does: prewarm every cache with
+	// the workload's hot lines.
+	ic := make([][]uint64, cfg.Workers+1)
+	l2 := make([][]uint64, cfg.Workers+1)
+	for i := 0; i <= cfg.Workers; i++ {
+		ic[i] = w.WarmLines(i, cfg.ICache.LineBytes)
+		l2[i] = w.L2WarmLines(i, cfg.Mem.L2.LineBytes)
+	}
+	sim.Prewarm(ic, l2)
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func evaluate(tech sharedicache.Tech, cfg sharedicache.Config, res *sharedicache.Result) sharedicache.PowerReport {
+	cl := sharedicache.Cluster{
+		Workers:            cfg.Workers,
+		Cache:              cfg.ICache,
+		LineBuffersPerCore: cfg.LineBuffers,
+	}
+	if cfg.Organization == sharedicache.OrgWorkerShared {
+		cl.Caches = cfg.Workers / cfg.CPC
+		cl.BusesPerCache = cfg.Buses
+		cl.BusWidthBytes = cfg.BusWidthBytes
+		cl.SharedCacheOverhead = 0.25
+		cl.Cache.Banks = cfg.Buses
+	} else {
+		cl.Caches = cfg.Workers
+	}
+	var lineNeeds, cacheFetches uint64
+	for _, c := range res.Cores[1:] {
+		lineNeeds += c.FE.LineNeeds
+		cacheFetches += c.FE.CacheFetches
+	}
+	rep, err := tech.Evaluate(cl, sharedicache.Activity{
+		Cycles:          res.Cycles,
+		Instructions:    res.WorkerInstructions(),
+		CacheAccesses:   res.WorkerICache.Accesses,
+		BusTransactions: res.Bus.Granted,
+		LineBufferHits:  lineNeeds - cacheFetches,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}

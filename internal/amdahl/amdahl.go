@@ -1,0 +1,161 @@
+// Package amdahl implements the multicore cost/performance model of
+// Hill & Marty ("Amdahl's Law in the Multicore Era") that the paper's
+// Figure 1 uses to motivate the ACMP design: for a fixed hardware
+// budget expressed in base core equivalents (BCE), it compares the
+// speedup of symmetric and asymmetric CMPs as a function of the serial
+// code fraction.
+//
+// The model's assumptions, stated in the paper: a core built from r
+// BCEs delivers perf(r) = sqrt(r) (the paper's instance: one big core
+// spends 4x the resources of a small one for 2x the performance), and
+// cache/interconnect cost is constant across designs so it cancels.
+package amdahl
+
+import (
+	"fmt"
+	"math"
+)
+
+// Perf returns the performance of a core built from r base core
+// equivalents, normalised to one BCE: sqrt(r) per Hill & Marty.
+func Perf(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return math.Sqrt(r)
+}
+
+// Design describes a CMP built from a fixed BCE budget.
+type Design struct {
+	// Name labels the design in tables.
+	Name string
+	// BudgetBCE is the total hardware budget in base core equivalents.
+	BudgetBCE int
+	// BigBCE is the size of each big core in BCEs (1 = base core).
+	BigBCE int
+	// BigCores is the number of big cores; the remaining budget is
+	// filled with 1-BCE small cores.
+	BigCores int
+}
+
+// Validate reports configuration errors.
+func (d Design) Validate() error {
+	if d.BudgetBCE < 1 {
+		return fmt.Errorf("amdahl: budget %d BCE must be positive", d.BudgetBCE)
+	}
+	if d.BigBCE < 1 {
+		return fmt.Errorf("amdahl: big-core size %d BCE must be positive", d.BigBCE)
+	}
+	if d.BigCores < 0 {
+		return fmt.Errorf("amdahl: negative big-core count %d", d.BigCores)
+	}
+	if d.BigCores*d.BigBCE > d.BudgetBCE {
+		return fmt.Errorf("amdahl: %d big cores of %d BCE exceed budget %d",
+			d.BigCores, d.BigBCE, d.BudgetBCE)
+	}
+	return nil
+}
+
+// SmallCores returns how many 1-BCE cores fill the remaining budget.
+func (d Design) SmallCores() int { return d.BudgetBCE - d.BigCores*d.BigBCE }
+
+// Symmetric builds a symmetric CMP of n identical cores from budget
+// BCEs (each core gets budget/n BCEs).
+func Symmetric(name string, budget, n int) Design {
+	if n < 1 {
+		n = 1
+	}
+	per := budget / n
+	if per < 1 {
+		per = 1
+	}
+	if per == 1 {
+		return Design{Name: name, BudgetBCE: budget, BigBCE: 1, BigCores: 0}
+	}
+	return Design{Name: name, BudgetBCE: budget, BigBCE: per, BigCores: n}
+}
+
+// Asymmetric builds an ACMP with one big core of bigBCE and small
+// cores filling the remaining budget.
+func Asymmetric(name string, budget, bigBCE int) Design {
+	return Design{Name: name, BudgetBCE: budget, BigBCE: bigBCE, BigCores: 1}
+}
+
+// Speedup returns the model speedup over a single base core for a
+// workload whose serial code fraction is f in [0,1].
+//
+// Symmetric CMP (n cores of r BCEs):
+//
+//	S = 1 / ( f/perf(r) + (1-f)/(n*perf(r)) )
+//
+// Asymmetric CMP (one big core of r BCEs + (budget-r) base cores):
+// serial code runs on the big core; parallel code uses the big core
+// plus all small cores:
+//
+//	S = 1 / ( f/perf(r) + (1-f)/(perf(r) + budget - r) )
+func (d Design) Speedup(f float64) float64 {
+	if f < 0 || f > 1 {
+		panic(fmt.Sprintf("amdahl: serial fraction %v outside [0,1]", f))
+	}
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	big := Perf(float64(d.BigBCE))
+	small := float64(d.SmallCores())
+	switch {
+	case d.BigCores == 0:
+		// Pure small-core CMP: serial on one base core.
+		seq := f / 1
+		par := (1 - f) / small
+		return 1 / (seq + par)
+	case d.SmallCores() == 0:
+		// Pure big-core CMP.
+		n := float64(d.BigCores)
+		return 1 / (f/big + (1-f)/(n*big))
+	default:
+		// Asymmetric: serial on the big core, parallel everywhere.
+		return 1 / (f/big + (1-f)/(big+small))
+	}
+}
+
+// CrossoverSerialFraction returns the smallest serial fraction (in
+// steps of eps) at which design a outperforms design b, or -1 if a
+// never wins on [0,1]. It is the "ACMP outperforms SCMP above f%"
+// annotation of Fig 1.
+func CrossoverSerialFraction(a, b Design, eps float64) float64 {
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	for f := 0.0; f <= 1.0; f += eps {
+		if a.Speedup(f) > b.Speedup(f) {
+			return f
+		}
+	}
+	return -1
+}
+
+// PaperDesigns returns the three Fig 1 designs: 16-BCE budget,
+// symmetric with 4 big (4-BCE) cores, symmetric with 16 small cores,
+// and an ACMP with one 4-BCE big core plus 12 small cores.
+func PaperDesigns() []Design {
+	return []Design{
+		Symmetric("SymmetricCMP (4 big cores)", 16, 4),
+		Symmetric("SymmetricCMP (16 small cores)", 16, 16),
+		Asymmetric("AsymmetricCMP (1 big + 12 small cores)", 16, 4),
+	}
+}
+
+// Curve samples a design's speedup across the serial fractions of
+// Fig 1's x-axis.
+func Curve(d Design, fractions []float64) []float64 {
+	out := make([]float64, len(fractions))
+	for i, f := range fractions {
+		out[i] = d.Speedup(f)
+	}
+	return out
+}
+
+// Fig1Fractions returns the x-axis sample points the paper plots.
+func Fig1Fractions() []float64 {
+	return []float64{0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+}

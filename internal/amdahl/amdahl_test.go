@@ -1,0 +1,177 @@
+package amdahl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerf(t *testing.T) {
+	if Perf(4) != 2 {
+		t.Fatalf("perf(4) = %v, want 2 (paper: 4x resources, 2x performance)", Perf(4))
+	}
+	if Perf(1) != 1 || Perf(0) != 0 || Perf(-3) != 0 {
+		t.Fatal("perf edge cases wrong")
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	bad := []Design{
+		{BudgetBCE: 0, BigBCE: 1},
+		{BudgetBCE: 16, BigBCE: 0},
+		{BudgetBCE: 16, BigBCE: 4, BigCores: -1},
+		{BudgetBCE: 16, BigBCE: 4, BigCores: 5},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	good := Asymmetric("a", 16, 4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.SmallCores() != 12 {
+		t.Fatalf("ACMP small cores = %d, want 12", good.SmallCores())
+	}
+}
+
+func TestSymmetricConstruction(t *testing.T) {
+	d := Symmetric("4big", 16, 4)
+	if d.BigBCE != 4 || d.BigCores != 4 || d.SmallCores() != 0 {
+		t.Fatalf("4-big symmetric = %+v", d)
+	}
+	d = Symmetric("16small", 16, 16)
+	if d.BigCores != 0 || d.SmallCores() != 16 {
+		t.Fatalf("16-small symmetric = %+v", d)
+	}
+	// Degenerate arguments clamp instead of exploding.
+	d = Symmetric("x", 16, 0)
+	if d.Validate() != nil {
+		t.Fatal("clamped design should validate")
+	}
+}
+
+func TestFig1Endpoints(t *testing.T) {
+	designs := PaperDesigns()
+	big4, small16, acmp := designs[0], designs[1], designs[2]
+
+	// At f=0 (fully parallel): 16 small cores win with speedup 16.
+	if got := small16.Speedup(0); got != 16 {
+		t.Fatalf("16-small at f=0: %v, want 16", got)
+	}
+	// 4 big cores: 4 cores x perf 2 = 8.
+	if got := big4.Speedup(0); got != 8 {
+		t.Fatalf("4-big at f=0: %v, want 8", got)
+	}
+	// ACMP: big core (perf 2) + 12 small = 14.
+	if got := acmp.Speedup(0); got != 14 {
+		t.Fatalf("ACMP at f=0: %v, want 14", got)
+	}
+
+	// At f=1 (fully serial) the big-core designs converge to perf 2 and
+	// the all-small design to 1.
+	if got := acmp.Speedup(1); got != 2 {
+		t.Fatalf("ACMP at f=1: %v, want 2", got)
+	}
+	if got := small16.Speedup(1); got != 1 {
+		t.Fatalf("16-small at f=1: %v, want 1", got)
+	}
+}
+
+func TestFig1Crossover(t *testing.T) {
+	// The paper: "With the serial code fraction above 2%, an ACMP
+	// outperforms both symmetric CMP designs."
+	designs := PaperDesigns()
+	big4, small16, acmp := designs[0], designs[1], designs[2]
+
+	fBig := CrossoverSerialFraction(acmp, big4, 1e-4)
+	fSmall := CrossoverSerialFraction(acmp, small16, 1e-4)
+	if fBig < 0 || fSmall < 0 {
+		t.Fatal("ACMP should eventually beat both symmetric designs")
+	}
+	worst := math.Max(fBig, fSmall)
+	if worst > 0.03 {
+		t.Fatalf("ACMP wins only above %.3f serial fraction; paper says ~0.02", worst)
+	}
+	// And above 5% serial the ACMP clearly beats both.
+	for _, f := range []float64{0.05, 0.10, 0.30} {
+		if acmp.Speedup(f) <= big4.Speedup(f) || acmp.Speedup(f) <= small16.Speedup(f) {
+			t.Fatalf("ACMP not winning at f=%.2f", f)
+		}
+	}
+}
+
+func TestCrossoverNever(t *testing.T) {
+	// A strictly dominated design never crosses over.
+	weak := Symmetric("weak", 4, 4)
+	strong := Symmetric("strong", 16, 16)
+	weak.BigBCE = 1
+	weak.BigCores = 0
+	if f := CrossoverSerialFraction(weak, strong, 0); f != -1 {
+		t.Fatalf("dominated design reported crossover at %v", f)
+	}
+}
+
+func TestSpeedupPanics(t *testing.T) {
+	d := PaperDesigns()[2]
+	for _, f := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Speedup(%v) should panic", f)
+				}
+			}()
+			d.Speedup(f)
+		}()
+	}
+}
+
+func TestCurveMatchesPointwise(t *testing.T) {
+	d := PaperDesigns()[2]
+	fr := Fig1Fractions()
+	c := Curve(d, fr)
+	if len(c) != len(fr) {
+		t.Fatal("curve length mismatch")
+	}
+	for i, f := range fr {
+		if c[i] != d.Speedup(f) {
+			t.Fatalf("curve[%d] disagrees with Speedup", i)
+		}
+	}
+}
+
+// Property: speedup is monotonically non-increasing in the serial
+// fraction for any valid design.
+func TestSpeedupMonotoneProperty(t *testing.T) {
+	f := func(budgetRaw, bigRaw uint8, f1, f2 float64) bool {
+		budget := int(budgetRaw%63) + 2
+		big := int(bigRaw)%budget + 1
+		d := Asymmetric("p", budget, big)
+		a := math.Mod(math.Abs(f1), 1)
+		b := math.Mod(math.Abs(f2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return d.Speedup(a) >= d.Speedup(b)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: speedup never exceeds the fully-parallel bound and never
+// drops below the fully-serial bound.
+func TestSpeedupBoundedProperty(t *testing.T) {
+	f := func(budgetRaw, bigRaw uint8, fr float64) bool {
+		budget := int(budgetRaw%63) + 2
+		big := int(bigRaw)%budget + 1
+		d := Asymmetric("p", budget, big)
+		x := math.Mod(math.Abs(fr), 1)
+		s := d.Speedup(x)
+		return s <= d.Speedup(0)+1e-9 && s >= d.Speedup(1)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

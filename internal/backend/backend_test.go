@@ -1,0 +1,159 @@
+package backend
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommitRateExact(t *testing.T) {
+	b := New(64, 2000) // 2 IPC
+	b.Push(64)
+	total := 0
+	for i := 0; i < 10; i++ {
+		total += b.Tick(StallNone)
+	}
+	if total != 20 {
+		t.Fatalf("committed %d in 10 cycles at IPC 2, want 20", total)
+	}
+}
+
+func TestFractionalIPC(t *testing.T) {
+	b := New(64, 1500)
+	b.Push(64)
+	got := []int{b.Tick(StallNone), b.Tick(StallNone)}
+	if got[0]+got[1] != 3 {
+		t.Fatalf("1.5 IPC over 2 cycles committed %v, want 3 total", got)
+	}
+	if b.Committed() != 3 {
+		t.Fatalf("Committed = %d", b.Committed())
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	b := New(8, 1000)
+	if got := b.Push(20); got != 8 {
+		t.Fatalf("Push accepted %d, want 8", got)
+	}
+	if b.Free() != 0 {
+		t.Fatalf("Free = %d, want 0", b.Free())
+	}
+	b.Tick(StallNone)
+	if b.Free() != 1 {
+		t.Fatalf("after one commit Free = %d, want 1", b.Free())
+	}
+}
+
+func TestStallAttribution(t *testing.T) {
+	b := New(8, 1000)
+	b.Tick(StallBusQueue)
+	b.Tick(StallBusLatency)
+	b.Tick(StallCacheMiss)
+	b.Tick(StallBranch)
+	b.Tick(StallSync)
+	b.Tick(StallDrain)
+	b.Push(1)
+	b.Tick(StallNone)
+	st := b.Stack()
+	want := CPIStack{Busy: 1, Branch: 1, BusQueue: 1, BusLatency: 1, CacheMiss: 1, Sync: 1, Drain: 1}
+	if st != want {
+		t.Fatalf("stack = %+v, want %+v", st, want)
+	}
+	if st.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", st.Total())
+	}
+}
+
+func TestPacingCountsAsBusy(t *testing.T) {
+	// IPC 0.5: every other cycle commits; in-between cycles with work
+	// queued are base CPI, not stalls.
+	b := New(8, 500)
+	b.Push(2)
+	c1 := b.Tick(StallCacheMiss) // credits 0.5 -> no commit, but queue nonempty
+	c2 := b.Tick(StallCacheMiss) // credits 1.0 -> commit
+	if c1 != 0 || c2 != 1 {
+		t.Fatalf("commits = %d,%d, want 0,1", c1, c2)
+	}
+	st := b.Stack()
+	if st.Busy != 2 || st.CacheMiss != 0 {
+		t.Fatalf("pacing cycles misattributed: %+v", st)
+	}
+}
+
+func TestCreditCapping(t *testing.T) {
+	b := New(64, 4000)
+	// 100 idle cycles must not bank more than the cap.
+	for i := 0; i < 100; i++ {
+		b.Tick(StallDrain)
+	}
+	b.Push(64)
+	if got := b.Tick(StallNone); got > creditCap/1000 {
+		t.Fatalf("burst commit %d exceeds credit cap", got)
+	}
+}
+
+func TestSetIPC(t *testing.T) {
+	b := New(64, 1000)
+	b.SetIPC(3000)
+	if b.IPCMilli() != 3000 {
+		t.Fatalf("IPCMilli = %d", b.IPCMilli())
+	}
+	b.SetIPC(0)
+	if b.IPCMilli() == 0 {
+		t.Fatal("SetIPC(0) should clamp to a positive rate")
+	}
+	b.Push(9)
+	b.SetIPC(3000)
+	b.Tick(StallNone)
+	b.Tick(StallNone)
+	b.Tick(StallNone)
+	if b.Committed() != 9 {
+		t.Fatalf("Committed = %d, want 9", b.Committed())
+	}
+	if !b.Drained() {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestStallKindString(t *testing.T) {
+	for k := StallNone; k <= StallDrain; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", k)
+		}
+	}
+	if StallKind(99).String() != "StallKind(99)" {
+		t.Fatal("unknown kind should format numerically")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, ...) should panic")
+		}
+	}()
+	New(0, 1000)
+}
+
+// Property: committed instructions never exceed pushed; stack total
+// equals elapsed cycles.
+func TestBackendConservation(t *testing.T) {
+	f := func(ipc uint16, pushes []uint8) bool {
+		b := New(32, uint32(ipc)%4000+1)
+		var pushed, committed uint64
+		cycles := 0
+		for _, p := range pushes {
+			pushed += uint64(b.Push(int(p) % 16))
+			committed += uint64(b.Tick(StallDrain))
+			cycles++
+		}
+		for i := 0; i < 64 && !b.Drained(); i++ {
+			committed += uint64(b.Tick(StallDrain))
+			cycles++
+		}
+		return committed == b.Committed() && committed <= pushed &&
+			b.Stack().Total() == uint64(cycles)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

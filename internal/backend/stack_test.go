@@ -1,0 +1,101 @@
+package backend
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCPIStackAdd(t *testing.T) {
+	a := CPIStack{Busy: 1, Branch: 2, BusQueue: 3, BusLatency: 4,
+		CacheHit: 5, CacheMiss: 6, Sync: 7, Drain: 8}
+	b := CPIStack{Busy: 10, Branch: 20, BusQueue: 30, BusLatency: 40,
+		CacheHit: 50, CacheMiss: 60, Sync: 70, Drain: 80}
+	a.Add(b)
+	want := CPIStack{Busy: 11, Branch: 22, BusQueue: 33, BusLatency: 44,
+		CacheHit: 55, CacheMiss: 66, Sync: 77, Drain: 88}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	if a.Total() != 11+22+33+44+55+66+77+88 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}
+
+// Property: Add is commutative in the total.
+func TestCPIStackAddCommutativeProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint32) bool {
+		a := CPIStack{Busy: uint64(a1), Sync: uint64(a2)}
+		b := CPIStack{Branch: uint64(b1), Drain: uint64(b2)}
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return x.Total() == y.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueLenTracksPushAndCommit(t *testing.T) {
+	b := New(8, 2000)
+	if b.QueueLen() != 0 {
+		t.Fatal("fresh queue should be empty")
+	}
+	if got := b.Push(5); got != 5 {
+		t.Fatalf("push accepted %d", got)
+	}
+	if b.QueueLen() != 5 || b.Free() != 3 {
+		t.Fatalf("queue len = %d free = %d", b.QueueLen(), b.Free())
+	}
+	// One tick at IPC 2 commits 2.
+	if got := b.Tick(StallNone); got != 2 {
+		t.Fatalf("committed %d", got)
+	}
+	if b.QueueLen() != 3 {
+		t.Fatalf("queue len after commit = %d", b.QueueLen())
+	}
+}
+
+func TestNewZeroIPCDefaults(t *testing.T) {
+	b := New(4, 0)
+	if b.IPCMilli() != 1000 {
+		t.Fatalf("zero IPC should default to 1000 milli, got %d", b.IPCMilli())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive queue capacity should panic")
+		}
+	}()
+	New(0, 1000)
+}
+
+func TestPushNegativePanics(t *testing.T) {
+	b := New(4, 1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative push should panic")
+		}
+	}()
+	b.Push(-1)
+}
+
+func TestEveryStallKindRecorded(t *testing.T) {
+	kinds := []StallKind{StallBranch, StallBusQueue, StallBusLatency,
+		StallCacheHit, StallCacheMiss, StallSync, StallDrain, StallNone}
+	b := New(4, 1000)
+	for _, k := range kinds {
+		b.Tick(k) // empty queue: every tick records its cause
+	}
+	st := b.Stack()
+	if st.Branch != 1 || st.BusQueue != 1 || st.BusLatency != 1 ||
+		st.CacheHit != 1 || st.CacheMiss != 1 || st.Sync != 1 {
+		t.Fatalf("stack = %+v", st)
+	}
+	// StallNone and StallDrain both land in Drain when idle.
+	if st.Drain != 2 {
+		t.Fatalf("drain = %d, want 2", st.Drain)
+	}
+	if st.Total() != uint64(len(kinds)) {
+		t.Fatalf("total = %d, want %d", st.Total(), len(kinds))
+	}
+}

@@ -1,0 +1,183 @@
+// Package branch implements the fetch (branch) predictor of Table I:
+// a 16 KB gshare predictor augmented with a 256-entry loop predictor.
+//
+// The predictor operates on the terminating branch of each fetch block.
+// Direction prediction is by gshare (2-bit saturating counters indexed
+// by PC xor global history); branches identified as loops (long runs of
+// identical outcomes ending in a single flip) are captured by the loop
+// predictor, which predicts the trip count exactly once trained. Target
+// prediction is not modelled separately: the simulator replays recorded
+// targets, so a direction hit implies a fetch-address hit, matching the
+// paper's FTQ-based fetch predictor abstraction.
+package branch
+
+// GshareBits is the log2 number of 2-bit counters in a 16 KB gshare
+// array (16 KB = 2^14 bytes = 2^16 2-bit counters).
+const GshareBits = 16
+
+// LoopEntries is the loop predictor capacity from Table I.
+const LoopEntries = 256
+
+// loopTag distinguishes branches mapped to the same loop-table entry.
+type loopEntry struct {
+	tag       uint64
+	tripCount uint32 // learned iterations between flips
+	current   uint32 // iterations seen since last flip
+	direction bool   // outcome during the run (flip predicted at trip)
+	confident bool   // trained: two identical trip counts observed
+	trained   uint32 // last completed run length
+	valid     bool
+}
+
+// Predictor is the combined gshare + loop predictor. The zero value is
+// not ready; use New.
+type Predictor struct {
+	table   []uint8 // 2-bit saturating counters
+	history uint64
+	mask    uint64
+	loops   []loopEntry
+	stats   Stats
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+	LoopHits    uint64 // predictions served confidently by the loop predictor
+}
+
+// New returns a predictor with a 2^gshareBits-entry gshare table and
+// loopEntries loop slots. Pass GshareBits and LoopEntries for the
+// paper's configuration.
+func New(gshareBits uint, loopEntries int) *Predictor {
+	if gshareBits == 0 || gshareBits > 30 {
+		panic("branch: gshareBits out of range")
+	}
+	if loopEntries <= 0 {
+		panic("branch: loopEntries must be positive")
+	}
+	p := &Predictor{
+		table: make([]uint8, 1<<gshareBits),
+		mask:  1<<gshareBits - 1,
+		loops: make([]loopEntry, loopEntries),
+	}
+	// Initialise counters weakly taken: loop back-edges dominate HPC
+	// code, so cold counters predicting taken avoids a warm-up
+	// mispredict per static branch.
+	for i := range p.table {
+		p.table[i] = 2
+	}
+	return p
+}
+
+// NewDefault returns the Table I configuration (16 KB gshare, 256-entry
+// loop predictor).
+func NewDefault() *Predictor { return New(GshareBits, LoopEntries) }
+
+func (p *Predictor) index(pc uint64) uint64 {
+	return (pc>>2 ^ p.history) & p.mask
+}
+
+func (p *Predictor) loopIndex(pc uint64) int {
+	return int((pc >> 2) % uint64(len(p.loops)))
+}
+
+// Predict returns the predicted direction for the branch at pc and then
+// trains the predictor with the actual outcome. It returns whether the
+// prediction was correct.
+func (p *Predictor) Predict(pc uint64, taken bool) (predictedTaken, correct bool) {
+	p.stats.Lookups++
+
+	// Loop predictor consultation.
+	le := &p.loops[p.loopIndex(pc)]
+	usedLoop := false
+	if le.valid && le.tag == pc && le.confident {
+		if le.current >= le.tripCount {
+			predictedTaken = !le.direction
+		} else {
+			predictedTaken = le.direction
+		}
+		usedLoop = true
+	} else {
+		idx := p.index(pc)
+		predictedTaken = p.table[idx] >= 2
+	}
+
+	correct = predictedTaken == taken
+	if !correct {
+		p.stats.Mispredicts++
+	} else if usedLoop {
+		p.stats.LoopHits++
+	}
+
+	p.train(pc, taken)
+	return predictedTaken, correct
+}
+
+// train updates gshare counters, global history, and the loop table.
+func (p *Predictor) train(pc uint64, taken bool) {
+	idx := p.index(pc)
+	c := p.table[idx]
+	if taken {
+		if c < 3 {
+			p.table[idx] = c + 1
+		}
+	} else {
+		if c > 0 {
+			p.table[idx] = c - 1
+		}
+	}
+	if taken {
+		p.history = p.history<<1 | 1
+	} else {
+		p.history = p.history << 1
+	}
+
+	le := &p.loops[p.loopIndex(pc)]
+	if !le.valid || le.tag != pc {
+		*le = loopEntry{tag: pc, direction: taken, current: 1, valid: true}
+		return
+	}
+	if taken == le.direction {
+		le.current++
+		return
+	}
+	// Flip: a run of le.current identical outcomes just ended.
+	if le.trained == le.current && le.current > 1 {
+		le.confident = true
+		le.tripCount = le.current
+	} else {
+		le.confident = false
+	}
+	le.trained = le.current
+	le.current = 0
+	// Keep tracking the same dominant direction; if the branch truly
+	// inverted polarity the next run re-trains from scratch.
+	if le.trained == 0 {
+		le.direction = taken
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+// MPKI returns mispredictions per kilo-instruction given the number of
+// committed instructions the lookups covered.
+func (s Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(instructions) * 1000
+}
+
+// Accuracy returns the fraction of correct predictions in [0,1].
+func (s Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.Lookups)
+}
+
+// Reset clears statistics but preserves learned state, so per-section
+// accounting (serial vs parallel) does not retrain the predictor.
+func (p *Predictor) Reset() { p.stats = Stats{} }

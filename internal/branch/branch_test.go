@@ -1,0 +1,142 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlwaysTakenConverges(t *testing.T) {
+	p := NewDefault()
+	pc := uint64(0x1000)
+	for i := 0; i < 100; i++ {
+		p.Predict(pc, true)
+	}
+	st := p.Stats()
+	if st.Mispredicts > 3 {
+		t.Fatalf("always-taken branch mispredicted %d/100 times", st.Mispredicts)
+	}
+}
+
+func TestAlternatingIsHard(t *testing.T) {
+	// A strictly alternating branch defeats plain 2-bit counters but a
+	// gshare with history should learn the pattern.
+	p := NewDefault()
+	pc := uint64(0x2000)
+	for i := 0; i < 2000; i++ {
+		p.Predict(pc, i%2 == 0)
+	}
+	p.Reset()
+	for i := 2000; i < 3000; i++ {
+		p.Predict(pc, i%2 == 0)
+	}
+	if acc := p.Stats().Accuracy(); acc < 0.95 {
+		t.Fatalf("gshare failed to learn alternating pattern: accuracy %.2f", acc)
+	}
+}
+
+func TestLoopPredictorLearnsTripCount(t *testing.T) {
+	p := NewDefault()
+	pc := uint64(0x3000)
+	// Loop branch: taken 9 times, then not-taken, repeating (trip 10).
+	run := func(iters int) {
+		for i := 0; i < iters; i++ {
+			for j := 0; j < 9; j++ {
+				p.Predict(pc, true)
+			}
+			p.Predict(pc, false)
+		}
+	}
+	run(5) // train
+	p.Reset()
+	run(100)
+	st := p.Stats()
+	if acc := st.Accuracy(); acc < 0.999 {
+		t.Fatalf("loop predictor accuracy %.4f (mispredicts %d/%d), want ~1.0",
+			acc, st.Mispredicts, st.Lookups)
+	}
+	if st.LoopHits == 0 {
+		t.Fatal("loop predictor never served a confident prediction")
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := NewDefault()
+	rng := rand.New(rand.NewSource(1))
+	pc := uint64(0x4000)
+	for i := 0; i < 20000; i++ {
+		p.Predict(pc, rng.Intn(2) == 0)
+	}
+	acc := p.Stats().Accuracy()
+	if acc < 0.40 || acc > 0.62 {
+		t.Fatalf("random branch accuracy %.2f, expected near 0.5", acc)
+	}
+}
+
+func TestDistinctPCsIndependent(t *testing.T) {
+	p := NewDefault()
+	// Two biased branches at distinct PCs should both be predictable.
+	for i := 0; i < 5000; i++ {
+		p.Predict(0x5000, true)
+		p.Predict(0x6000, false)
+	}
+	p.Reset()
+	for i := 0; i < 1000; i++ {
+		p.Predict(0x5000, true)
+		p.Predict(0x6000, false)
+	}
+	if acc := p.Stats().Accuracy(); acc < 0.98 {
+		t.Fatalf("biased branches at distinct PCs: accuracy %.3f", acc)
+	}
+}
+
+func TestStatsMPKI(t *testing.T) {
+	s := Stats{Mispredicts: 5}
+	if got := s.MPKI(1000); got != 5 {
+		t.Fatalf("MPKI = %v, want 5", got)
+	}
+	if got := s.MPKI(0); got != 0 {
+		t.Fatalf("MPKI with zero instructions = %v, want 0", got)
+	}
+	if acc := (Stats{}).Accuracy(); acc != 1 {
+		t.Fatalf("zero-lookup accuracy = %v, want 1", acc)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, tc := range []struct {
+		bits uint
+		loop int
+	}{{0, 256}, {40, 256}, {16, 0}, {16, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", tc.bits, tc.loop)
+				}
+			}()
+			New(tc.bits, tc.loop)
+		}()
+	}
+}
+
+// Property: accuracy is always in [0,1] and mispredicts <= lookups, for
+// arbitrary outcome streams over a small PC set.
+func TestPredictorInvariants(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		p := New(10, 16)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n); i++ {
+			pc := uint64(0x1000 + 4*rng.Intn(32))
+			p.Predict(pc, rng.Intn(3) != 0)
+		}
+		st := p.Stats()
+		if st.Mispredicts > st.Lookups {
+			return false
+		}
+		acc := st.Accuracy()
+		return acc >= 0 && acc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package cachesim models set-associative caches with LRU replacement,
+// optional line-interleaved banking, and the miss classification
+// (compulsory vs non-compulsory) used by the paper's §VI-C analysis.
+//
+// The model is functional (hit/miss state) — timing lives in the
+// simulator that drives it. That split lets the same cache type serve
+// the standalone characterisation of Fig 3, the private I-caches of the
+// baseline, the shared banked I-cache, and the private L2s.
+package cachesim
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the block size (Table I: 64).
+	LineBytes int
+	// Assoc is the number of ways per set.
+	Assoc int
+	// Banks interleaves sets across this many banks by line address.
+	// 0 and 1 both mean a single bank.
+	Banks int
+}
+
+// Validate reports whether the geometry is well formed: power-of-two
+// line size, capacity divisible into sets, at least one way.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d is not a positive power of two", c.LineBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cachesim: associativity %d must be positive", c.Assoc)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cachesim: size %d not divisible into %d-way sets of %d-byte lines",
+			c.SizeBytes, c.Assoc, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d is not a power of two", sets)
+	}
+	b := c.Banks
+	if b < 0 {
+		return fmt.Errorf("cachesim: negative bank count %d", b)
+	}
+	if b > 1 && b&(b-1) != 0 {
+		return fmt.Errorf("cachesim: bank count %d is not a power of two", b)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Compulsory uint64 // first-ever reference to the line (cold miss)
+}
+
+// MissRatio returns Misses/Accesses in [0,1].
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// MPKI returns misses per kilo-instruction for the given committed
+// instruction count.
+func (s Stats) MPKI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(instructions) * 1000
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Misses += o.Misses
+	s.Compulsory += o.Compulsory
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	// lru is a per-set sequence number; larger = more recent.
+	lru uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It is not
+// safe for concurrent use; the simulator is single-goroutine per run.
+type Cache struct {
+	cfg       Config
+	sets      [][]way
+	setMask   uint64
+	lineShift uint
+	clock     uint64
+	seen      map[uint64]struct{} // lines ever referenced, for cold-miss classification
+	stats     Stats
+}
+
+// New builds a cache. It panics on invalid geometry: configurations are
+// programmer input, not runtime data.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]way, nsets),
+		setMask: uint64(nsets - 1),
+		seen:    make(map[uint64]struct{}),
+	}
+	backing := make([]way, nsets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+// Bank returns the bank index serving addr (line-interleaved).
+func (c *Cache) Bank(addr uint64) int {
+	if c.cfg.Banks <= 1 {
+		return 0
+	}
+	return int((addr >> c.lineShift) & uint64(c.cfg.Banks-1))
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit        bool
+	Compulsory bool // the miss (if any) was the first-ever touch of the line
+	Victim     uint64
+	Evicted    bool
+}
+
+// Access looks up addr, filling the line on a miss (allocate-on-miss)
+// and updating LRU state and statistics.
+func (c *Cache) Access(addr uint64) Result {
+	c.clock++
+	c.stats.Accesses++
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	tag := line >> 0 // full line number as tag; set index re-derived on eviction
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			return Result{Hit: true}
+		}
+	}
+	// Miss.
+	c.stats.Misses++
+	res := Result{}
+	if _, ok := c.seen[line]; !ok {
+		c.seen[line] = struct{}{}
+		c.stats.Compulsory++
+		res.Compulsory = true
+	}
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if !set[victim].valid {
+		// Prefer any invalid way over LRU eviction.
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+		}
+	} else {
+		res.Evicted = true
+		res.Victim = set[victim].tag << c.lineShift
+	}
+	set[victim] = way{tag: tag, valid: true, lru: c.clock}
+	return res
+}
+
+// Install fills the line containing addr without counting an access or
+// a miss. It models cache warm-up: the paper measures steady state over
+// 20+ G instructions, where every hot line has long been resident;
+// Install lets a scaled-down run start from that state. The line is
+// recorded in the cold-miss history (it has been referenced, in the
+// modelled past), and LRU recency advances as for a normal access, so
+// install order determines survival when the working set exceeds the
+// capacity (install hottest last).
+func (c *Cache) Install(addr uint64) {
+	c.clock++
+	line := addr >> c.lineShift
+	c.seen[line] = struct{}{}
+	set := c.sets[line&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lru = c.clock
+			return
+		}
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = way{tag: line, valid: true, lru: c.clock}
+}
+
+// Probe reports whether addr currently hits, without updating LRU or
+// statistics. Useful for invariant checks and tests.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears counters but keeps cache contents and the cold-miss
+// history, so per-section accounting stays consistent.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// ResidentLines returns the number of valid lines, for occupancy tests.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, w := range set {
+			if w.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInstallDoesNotCountStats(t *testing.T) {
+	c := New(Config{SizeBytes: 4 << 10, LineBytes: 64, Assoc: 4})
+	for addr := uint64(0); addr < 2048; addr += 64 {
+		c.Install(addr)
+	}
+	if s := c.Stats(); s.Accesses != 0 || s.Misses != 0 || s.Compulsory != 0 {
+		t.Fatalf("install perturbed stats: %+v", s)
+	}
+}
+
+func TestInstallMakesLinesHit(t *testing.T) {
+	c := New(Config{SizeBytes: 4 << 10, LineBytes: 64, Assoc: 4})
+	c.Install(0x1000)
+	if !c.Probe(0x1000) {
+		t.Fatal("installed line should probe as present")
+	}
+	res := c.Access(0x1000)
+	if !res.Hit {
+		t.Fatal("installed line should hit")
+	}
+	if s := c.Stats(); s.Accesses != 1 || s.Misses != 0 {
+		t.Fatalf("stats after hit: %+v", s)
+	}
+}
+
+func TestInstallSuppressesColdClassification(t *testing.T) {
+	// A line installed, evicted, then re-accessed is a capacity miss,
+	// not a compulsory one: the warm-up past counts as a reference.
+	c := New(Config{SizeBytes: 128, LineBytes: 64, Assoc: 1}) // 2 sets
+	c.Install(0)                                              // set 0
+	c.Install(128)                                            // set 0, evicts line 0
+	res := c.Access(0)
+	if res.Hit {
+		t.Fatal("line 0 should have been evicted")
+	}
+	if res.Compulsory {
+		t.Fatal("re-miss of an installed line must not be compulsory")
+	}
+}
+
+func TestInstallOrderControlsSurvival(t *testing.T) {
+	// Direct-mapped 2-set cache: the last install to a set wins.
+	c := New(Config{SizeBytes: 128, LineBytes: 64, Assoc: 1})
+	c.Install(0)   // set 0
+	c.Install(128) // set 0
+	if c.Probe(0) {
+		t.Fatal("older install should have been evicted")
+	}
+	if !c.Probe(128) {
+		t.Fatal("newest install should survive")
+	}
+}
+
+func TestInstallRefreshesLRU(t *testing.T) {
+	c := New(Config{SizeBytes: 128, LineBytes: 64, Assoc: 2}) // 1 set, 2 ways
+	c.Install(0)
+	c.Install(64)
+	c.Install(0)   // refresh line 0
+	c.Install(128) // evicts LRU = line 64
+	if !c.Probe(0) || c.Probe(64) || !c.Probe(128) {
+		t.Fatal("install LRU refresh wrong")
+	}
+}
+
+// Property: installing any set of lines then accessing a subset never
+// yields compulsory misses for those lines.
+func TestInstallNoColdMissProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := New(Config{SizeBytes: 2 << 10, LineBytes: 64, Assoc: 2})
+		lines := make([]uint64, 0, len(raw))
+		for _, r := range raw {
+			lines = append(lines, uint64(r)*64)
+		}
+		for _, l := range lines {
+			c.Install(l)
+		}
+		for _, l := range lines {
+			if res := c.Access(l); res.Compulsory {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set no larger than the cache, installed then
+// accessed in any order, hits entirely.
+func TestInstallFitWorkingSetProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		cfg := Config{SizeBytes: 4 << 10, LineBytes: 64, Assoc: 4}
+		c := New(cfg)
+		// 64 lines fill the cache exactly; contiguous lines spread
+		// uniformly across sets.
+		base := uint64(seed) * 64
+		n := cfg.SizeBytes / cfg.LineBytes
+		for i := 0; i < n; i++ {
+			c.Install(base + uint64(i*64))
+		}
+		for i := n - 1; i >= 0; i-- {
+			if !c.Access(base + uint64(i*64)).Hit {
+				return false
+			}
+		}
+		return c.Stats().Misses == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"sharedicache/internal/interconnect"
+)
+
+func TestArbitrationValidation(t *testing.T) {
+	cfg := SharedConfig()
+	cfg.Arbitration = interconnect.Policy(9)
+	if cfg.Validate() == nil {
+		t.Fatal("unknown arbitration policy should fail validation")
+	}
+	for _, p := range []interconnect.Policy{
+		interconnect.RoundRobin, interconnect.FixedPriority, interconnect.OldestFirst,
+	} {
+		cfg.Arbitration = p
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("policy %v should validate: %v", p, err)
+		}
+	}
+}
+
+func TestFixedPriorityCostsOnCongestedBus(t *testing.T) {
+	// On the congested single-bus cpc=8 design, fixed-priority
+	// arbitration starves high-index cores, so the (barrier-paced)
+	// region finishes no earlier than under round-robin.
+	base := SharedConfig()
+	base.Buses = 1
+	rr := runWarm(t, base, "UA", 40_000)
+
+	fp := base
+	fp.Arbitration = interconnect.FixedPriority
+	fpRes := runWarm(t, fp, "UA", 40_000)
+
+	if fpRes.Cycles < rr.Cycles {
+		t.Fatalf("fixed priority (%d) should not beat round-robin (%d) on a congested bus",
+			fpRes.Cycles, rr.Cycles)
+	}
+	// Per-grant wait under fixed priority is skewed: the mean is
+	// finite but the run is longer; sanity-check stats exist.
+	if fpRes.Bus.Granted == 0 {
+		t.Fatal("no grants recorded")
+	}
+}
+
+func TestOldestFirstCompetitive(t *testing.T) {
+	base := SharedConfig()
+	base.Buses = 1
+	rr := runWarm(t, base, "UA", 40_000)
+
+	of := base
+	of.Arbitration = interconnect.OldestFirst
+	ofRes := runWarm(t, of, "UA", 40_000)
+
+	ratio := float64(ofRes.Cycles) / float64(rr.Cycles)
+	if ratio > 1.05 || ratio < 0.95 {
+		t.Fatalf("oldest-first should track round-robin closely, ratio %.3f", ratio)
+	}
+}
+
+func TestSharedWorkerPredictorPlumbing(t *testing.T) {
+	cfg := SharedConfig()
+	cfg.SharedWorkerPredictor = true
+	res := runWarm(t, cfg, "UA", 40_000)
+
+	base := SharedConfig()
+	baseRes := runWarm(t, base, "UA", 40_000)
+
+	var sharedMis, privMis uint64
+	for _, c := range res.Cores[1:] {
+		sharedMis += c.FE.Mispredicts
+	}
+	for _, c := range baseRes.Cores[1:] {
+		privMis += c.FE.Mispredicts
+	}
+	if sharedMis == privMis {
+		t.Fatal("shared predictor should change worker mispredict counts")
+	}
+	// The naive shared-history design interferes destructively for
+	// interleaved SPMD streams (documented negative result).
+	if sharedMis < privMis {
+		t.Logf("note: shared predictor helped here (%d vs %d)", sharedMis, privMis)
+	}
+	// The master must keep its own predictor: its mispredicts match the
+	// baseline exactly (same trace, same private state).
+	if res.Cores[0].FE.Mispredicts != baseRes.Cores[0].FE.Mispredicts {
+		t.Fatal("master predictor must stay private")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"sharedicache/internal/synth"
+	"sharedicache/internal/trace"
+)
+
+// traceInstructions counts the fetch-block instructions in a fresh
+// source for the given thread.
+func traceInstructions(t *testing.T, name string, instr uint64, thread int) uint64 {
+	t.Helper()
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	w, err := synth.New(p, synth.Config{Workers: 8, MasterInstructions: instr, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Source(thread)
+	var n uint64
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if rec.Kind == trace.KindFetchBlock {
+			n += uint64(rec.NumInstr)
+		}
+	}
+	return n
+}
+
+// TestInstructionConservation: every instruction in every thread's
+// trace commits exactly once, whatever the I-cache organisation —
+// timing changes, work does not.
+func TestInstructionConservation(t *testing.T) {
+	const bench = "MG"
+	const instr = 30_000
+	want := make([]uint64, 9)
+	for i := range want {
+		want[i] = traceInstructions(t, bench, instr, i)
+	}
+	configs := map[string]Config{
+		"private": DefaultConfig(),
+		"shared":  SharedConfig(),
+	}
+	all := DefaultConfig()
+	all.Organization = OrgAllShared
+	configs["all-shared"] = all
+	cpc4 := DefaultConfig()
+	cpc4.Organization = OrgWorkerShared
+	cpc4.CPC = 4
+	configs["cpc4"] = cpc4
+
+	for name, cfg := range configs {
+		res := run(t, cfg, bench, instr)
+		for i, c := range res.Cores {
+			if c.Instructions != want[i] {
+				t.Errorf("%s: core %d committed %d, trace holds %d",
+					name, i, c.Instructions, want[i])
+			}
+			if c.SerialInstructions+c.ParallelInstructions != c.Instructions {
+				t.Errorf("%s: core %d section accounting leaks instructions", name, i)
+			}
+		}
+	}
+}
+
+// TestTimingInvariantToOrganisationForWork: committed totals match
+// between warm and cold starts too (prewarm changes time, never work).
+func TestPrewarmPreservesWork(t *testing.T) {
+	cold := run(t, SharedConfig(), "SP", 30_000)
+	warm := runWarm(t, SharedConfig(), "SP", 30_000)
+	if cold.TotalInstructions() != warm.TotalInstructions() {
+		t.Fatalf("prewarm changed committed work: %d vs %d",
+			cold.TotalInstructions(), warm.TotalInstructions())
+	}
+	if warm.Cycles > cold.Cycles {
+		t.Fatalf("warm start (%d cycles) should not be slower than cold (%d)",
+			warm.Cycles, cold.Cycles)
+	}
+	if warm.WorkerICache.Misses >= cold.WorkerICache.Misses {
+		t.Fatalf("warm start should miss less: %d vs %d",
+			warm.WorkerICache.Misses, cold.WorkerICache.Misses)
+	}
+}
+
+// TestStackTotalsMatchCycleCounts: each core's CPI stack covers
+// exactly its serial+parallel cycles.
+func TestStackTotalsMatchCycleCounts(t *testing.T) {
+	res := run(t, SharedConfig(), "CG", 30_000)
+	for i, c := range res.Cores {
+		cycles := c.SerialCycles + c.ParallelCycles
+		if c.Stack.Total() != cycles {
+			t.Errorf("core %d: stack total %d != accounted cycles %d",
+				i, c.Stack.Total(), cycles)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sharedicache/internal/cachesim"
+	"sharedicache/internal/frontend"
+	"sharedicache/internal/interconnect"
+	"sharedicache/internal/memsys"
+)
+
+// privatePort is the Fig 5a fetch path: a per-core I-cache answered in
+// ICacheLatency cycles, with misses filled through the core's L2.
+// Requests resolve synchronously because there is no arbitration.
+type privatePort struct {
+	cache    *cachesim.Cache
+	mem      *memsys.System
+	core     int
+	cacheLat int
+}
+
+func (p *privatePort) Request(now uint64, lineAddr uint64) *frontend.LineRequest {
+	req := &frontend.LineRequest{
+		LineAddr: lineAddr, Core: p.core,
+		SubmitAt: now, Granted: true, GrantAt: now,
+		Resolved: true, CacheLatency: p.cacheLat,
+	}
+	if p.cache.Access(lineAddr).Hit {
+		req.Hit = true
+		req.ReadyAt = now + uint64(p.cacheLat)
+		return req
+	}
+	fill := p.mem.FetchLine(now+uint64(p.cacheLat), p.core, lineAddr)
+	req.ReadyAt = fill.Done
+	return req
+}
+
+// sharedICache is the Fig 5b structure: one multi-banked I-cache behind
+// one or two round-robin buses, shared by a group of cores. Line fills
+// from L2 are tracked in an MSHR so that near-simultaneous requests for
+// the same line — the common case when SPMD threads run in loose
+// lockstep — merge instead of multiplying misses. That merge is the
+// "mutual prefetching" mechanism of §VI-C.
+type sharedICache struct {
+	cache    *cachesim.Cache
+	fabric   *interconnect.Fabric
+	mem      *memsys.System
+	cacheLat int
+	// groupCores maps fabric requester index -> global core id (the
+	// L2 used for fills is the requesting core's own).
+	groupCores []int
+
+	pending   map[uint64]*frontend.LineRequest
+	nextToken uint64
+	mshr      map[uint64]uint64 // line -> cycle its L2/DRAM fill completes
+
+	merged uint64 // requests satisfied by an in-flight fill
+}
+
+func newSharedICache(cfg Config, groupCores []int, mem *memsys.System) *sharedICache {
+	cacheCfg := cfg.ICache
+	cacheCfg.Banks = cfg.Buses
+	fabric := interconnect.NewFabric(cfg.Buses, len(groupCores),
+		cfg.BusLatency, cfg.busOccupancy(), cfg.ICache.LineBytes)
+	fabric.SetPolicy(cfg.Arbitration)
+	return &sharedICache{
+		cache:      cachesim.New(cacheCfg),
+		fabric:     fabric,
+		mem:        mem,
+		cacheLat:   cfg.ICacheLatency,
+		groupCores: groupCores,
+		pending:    map[uint64]*frontend.LineRequest{},
+		mshr:       map[uint64]uint64{},
+	}
+}
+
+// port returns the fetch port for the group-local requester index.
+func (s *sharedICache) port(local int) frontend.ICachePort {
+	return &sharedPort{s: s, local: local}
+}
+
+type sharedPort struct {
+	s     *sharedICache
+	local int
+}
+
+func (p *sharedPort) Request(now uint64, lineAddr uint64) *frontend.LineRequest {
+	s := p.s
+	req := &frontend.LineRequest{
+		LineAddr: lineAddr, Core: s.groupCores[p.local],
+		SubmitAt: now, Shared: true,
+		BusLatency: s.fabric.Latency(), CacheLatency: s.cacheLat,
+	}
+	tok := s.nextToken
+	s.nextToken++
+	s.pending[tok] = req
+	s.fabric.Submit(now, interconnect.Request{
+		Requester: p.local, Addr: lineAddr, Token: tok,
+	})
+	return req
+}
+
+// Tick arbitrates the buses for cycle now and resolves granted
+// requests: bus traversal + SRAM access on a hit; an L2/DRAM fill
+// (recorded in the MSHR) on a miss; an MSHR merge for lines already in
+// flight.
+func (s *sharedICache) Tick(now uint64) {
+	for _, g := range s.fabric.Tick(now) {
+		req := s.pending[g.Token]
+		delete(s.pending, g.Token)
+		req.Granted = true
+		req.GrantAt = g.GrantCycle
+		base := g.GrantCycle + uint64(s.fabric.Latency()+s.cacheLat)
+		if fill, ok := s.mshr[g.Addr]; ok && fill > now {
+			// Hit under fill: ride the in-flight line.
+			s.merged++
+			req.Hit = true
+			req.Resolved = true
+			req.ReadyAt = fill + uint64(s.fabric.Latency())
+			if base > req.ReadyAt {
+				req.ReadyAt = base
+			}
+			continue
+		}
+		res := s.cache.Access(g.Addr)
+		req.Resolved = true
+		if res.Hit {
+			req.Hit = true
+			req.ReadyAt = base
+			continue
+		}
+		fill := s.mem.FetchLine(base, req.Core, g.Addr)
+		req.ReadyAt = fill.Done + uint64(s.fabric.Latency())
+		s.mshr[g.Addr] = fill.Done
+	}
+	// Lazily trim completed fills so the MSHR map stays small.
+	if len(s.mshr) > 64 {
+		for line, done := range s.mshr {
+			if done <= now {
+				delete(s.mshr, line)
+			}
+		}
+	}
+}
+
+// Stats of the underlying cache.
+func (s *sharedICache) CacheStats() cachesim.Stats { return s.cache.Stats() }
+
+// BusStats aggregates the fabric's buses.
+func (s *sharedICache) BusStats() interconnect.Stats { return s.fabric.Stats() }

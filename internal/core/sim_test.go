@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+
+	"sharedicache/internal/synth"
+	"sharedicache/internal/trace"
+)
+
+func sources(t *testing.T, name string, instr uint64) []trace.Source {
+	t.Helper()
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	w, err := synth.New(p, synth.Config{Workers: 8, MasterInstructions: instr, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]trace.Source, w.NumThreads())
+	for i := range srcs {
+		srcs[i] = w.Source(i)
+	}
+	return srcs
+}
+
+func run(t *testing.T, cfg Config, name string, instr uint64) *Result {
+	t.Helper()
+	sim, err := New(cfg, sources(t, name, instr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runWarm simulates from steady-state cache contents, the regime the
+// paper's long traces measure (see Simulator.Prewarm).
+func runWarm(t *testing.T, cfg Config, name string, instr uint64) *Result {
+	t.Helper()
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	w, err := synth.New(p, synth.Config{Workers: cfg.Workers, MasterInstructions: instr, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]trace.Source, w.NumThreads())
+	ic := make([][]uint64, w.NumThreads())
+	l2 := make([][]uint64, w.NumThreads())
+	for i := range srcs {
+		srcs[i] = w.Source(i)
+		ic[i] = w.WarmLines(i, cfg.ICache.LineBytes)
+		l2[i] = w.L2WarmLines(i, cfg.Mem.L2.LineBytes)
+	}
+	sim, err := New(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Prewarm(ic, l2)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBaselineCompletes(t *testing.T) {
+	res := run(t, DefaultConfig(), "FT", 60_000)
+	if res.Cycles == 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	// Master committed ≈ its trace budget.
+	m := res.Cores[0]
+	if m.Instructions < 55_000 || m.Instructions > 70_000 {
+		t.Fatalf("master committed %d, want ≈60k", m.Instructions)
+	}
+	// Workers committed parallel-only instructions.
+	for i, c := range res.Cores[1:] {
+		if c.SerialInstructions != 0 {
+			t.Fatalf("worker %d committed serial instructions", i+1)
+		}
+		if c.Instructions == 0 {
+			t.Fatalf("worker %d committed nothing", i+1)
+		}
+	}
+	// Private organisation: no bus traffic, no merges.
+	if res.Bus.Submitted != 0 || res.MergedFills != 0 {
+		t.Fatalf("baseline should have no shared-bus activity: %+v", res.Bus)
+	}
+	// Execution time sanity: at least instructions/IPC cycles, and not
+	// wildly more (FT worker IPC 1.2, master higher).
+	minCycles := res.Cores[1].Instructions * 1000 / 1300
+	if res.Cycles < minCycles {
+		t.Fatalf("cycles %d below physical bound %d", res.Cycles, minCycles)
+	}
+	if res.Cycles > 8*minCycles {
+		t.Fatalf("cycles %d unreasonably high (bound %d)", res.Cycles, minCycles)
+	}
+}
+
+func TestSectionAccounting(t *testing.T) {
+	res := run(t, DefaultConfig(), "CoMD", 60_000) // 20% serial
+	m := res.Cores[0]
+	if m.SerialInstructions == 0 || m.ParallelInstructions == 0 {
+		t.Fatalf("master sections: serial=%d parallel=%d", m.SerialInstructions, m.ParallelInstructions)
+	}
+	frac := float64(m.SerialInstructions) / float64(m.Instructions)
+	if frac < 0.12 || frac > 0.30 {
+		t.Fatalf("master serial fraction %.3f, profile says 0.20", frac)
+	}
+}
+
+func TestSharedHasBusTrafficAndMerges(t *testing.T) {
+	cfg := SharedConfig()
+	res := run(t, cfg, "FT", 60_000)
+	if res.Bus.Submitted == 0 || res.Bus.Granted == 0 {
+		t.Fatalf("shared config produced no bus traffic: %+v", res.Bus)
+	}
+	if res.Bus.Granted != res.Bus.Submitted {
+		t.Fatalf("requests lost on the bus: %+v", res.Bus)
+	}
+	if res.MergedFills == 0 {
+		t.Fatal("SPMD workers should merge at least some in-flight fills")
+	}
+}
+
+func TestSharingReducesWorkerMisses(t *testing.T) {
+	// The paper's Fig 11: total worker misses drop when the I-cache is
+	// shared, because cold misses are paid once instead of 8 times.
+	base := run(t, DefaultConfig(), "LU", 60_000)
+	cfg := SharedConfig()
+	cfg.ICache.SizeBytes = 32 << 10
+	shared := run(t, cfg, "LU", 60_000)
+	if shared.WorkerICache.Misses >= base.WorkerICache.Misses {
+		t.Fatalf("shared misses %d, private misses %d: sharing should reduce misses",
+			shared.WorkerICache.Misses, base.WorkerICache.Misses)
+	}
+	ratio := float64(shared.WorkerICache.Misses) / float64(base.WorkerICache.Misses)
+	if ratio > 0.6 {
+		t.Fatalf("miss ratio shared/private = %.2f, expected well below 1 for LU", ratio)
+	}
+}
+
+func TestNaiveSharingSlowdown(t *testing.T) {
+	// cpc=8 with a single bus must cost performance on a bandwidth-
+	// hungry benchmark; a double bus must recover most of it (Fig 10).
+	base := runWarm(t, DefaultConfig(), "UA", 60_000)
+
+	naive := SharedConfig()
+	naive.Buses = 1
+	nres := runWarm(t, naive, "UA", 60_000)
+
+	double := SharedConfig()
+	dres := runWarm(t, double, "UA", 60_000)
+
+	nSlow := float64(nres.Cycles) / float64(base.Cycles)
+	dSlow := float64(dres.Cycles) / float64(base.Cycles)
+	if nSlow < 1.02 {
+		t.Fatalf("naive sharing slowdown %.3f, expected measurable slowdown", nSlow)
+	}
+	if dSlow >= nSlow {
+		t.Fatalf("double bus (%.3f) should beat single bus (%.3f)", dSlow, nSlow)
+	}
+	// Congestion should appear in worker CPI stacks under naive sharing.
+	if nres.WorkerStack().BusQueue == 0 {
+		t.Fatal("naive sharing should show I-bus congestion stalls")
+	}
+}
+
+func TestAllSharedSlowerWithSerialCode(t *testing.T) {
+	// §VI-E: with 20% serial code (CoMD-like but without its line-buffer
+	// locality), routing the master's fetches through the shared bus
+	// hurts. Use nab (22% serial): its serial blocks are long, so the
+	// effect is mild but the direction must hold for fma3d too.
+	workerShared := SharedConfig()
+	workerShared.ICache.SizeBytes = 32 << 10
+	ws := runWarm(t, workerShared, "fma3d", 60_000)
+
+	allShared := workerShared
+	allShared.Organization = OrgAllShared
+	as := runWarm(t, allShared, "fma3d", 60_000)
+
+	if as.Cycles < ws.Cycles {
+		t.Fatalf("all-shared (%d) should not beat worker-shared (%d) with serial code",
+			as.Cycles, ws.Cycles)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, SharedConfig(), "MG", 40_000)
+	b := run(t, SharedConfig(), "MG", 40_000)
+	if a.Cycles != b.Cycles {
+		t.Fatalf("cycles differ across identical runs: %d vs %d", a.Cycles, b.Cycles)
+	}
+	if a.WorkerICache != b.WorkerICache {
+		t.Fatalf("cache stats differ: %+v vs %+v", a.WorkerICache, b.WorkerICache)
+	}
+}
+
+func TestRunSingleUse(t *testing.T) {
+	sim, err := New(DefaultConfig(), sources(t, "EP", 20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.Organization = OrgWorkerShared; c.CPC = 3 },
+		func(c *Config) { c.Organization = OrgWorkerShared; c.CPC = 1 },
+		func(c *Config) { c.Organization = Organization(9) },
+		func(c *Config) { c.ICache.SizeBytes = 1000 },
+		func(c *Config) { c.ICacheLatency = 0 },
+		func(c *Config) { c.LineBuffers = 0 },
+		func(c *Config) { c.Buses = 0 },
+		func(c *Config) { c.InstrQueueCap = 0 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	// Constructor propagates validation and source-count errors.
+	if _, err := New(Config{}, nil); err == nil {
+		t.Fatal("New with zero config should fail")
+	}
+	if _, err := New(DefaultConfig(), make([]trace.Source, 3)); err == nil {
+		t.Fatal("New with wrong source count should fail")
+	}
+}
+
+func TestCPCGrouping(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Organization = OrgWorkerShared
+	cfg.CPC = 4
+	cfg.Buses = 2
+	res := run(t, cfg, "CG", 40_000)
+	if res.Bus.Submitted == 0 {
+		t.Fatal("cpc=4 should route worker fetches over buses")
+	}
+	// Master keeps a private cache: it must have accesses.
+	if res.MasterICache.Accesses == 0 {
+		t.Fatal("master private cache unused")
+	}
+}
+
+func TestStackCoversAllCycles(t *testing.T) {
+	res := run(t, SharedConfig(), "IS", 40_000)
+	for i, c := range res.Cores {
+		if c.Stack.Total() == 0 {
+			t.Fatalf("core %d recorded no cycles", i)
+		}
+		if c.Stack.Total() > res.Cycles {
+			t.Fatalf("core %d stack total %d exceeds run length %d", i, c.Stack.Total(), res.Cycles)
+		}
+	}
+}
+
+func TestOrganizationString(t *testing.T) {
+	if OrgPrivate.String() != "private" || OrgWorkerShared.String() != "worker-shared" ||
+		OrgAllShared.String() != "all-shared" {
+		t.Fatal("organization names wrong")
+	}
+	if Organization(7).String() == "" {
+		t.Fatal("unknown organization should format numerically")
+	}
+}

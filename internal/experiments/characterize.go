@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sharedicache/internal/cachesim"
+	"sharedicache/internal/stats"
+	"sharedicache/internal/synth"
+	"sharedicache/internal/trace"
+)
+
+// sectionWalk streams one thread's trace, calling visit for every
+// fetch block with the current section (inParallel). Sync records flip
+// the section; the walk stops at KindEnd.
+func sectionWalk(src trace.Source, visit func(rec trace.Record, inParallel bool)) error {
+	inParallel := false
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		switch rec.Kind {
+		case trace.KindFetchBlock:
+			visit(rec, inParallel)
+		case trace.KindParallelStart:
+			inParallel = true
+		case trace.KindParallelEnd:
+			inParallel = false
+		case trace.KindEnd:
+			return nil
+		}
+	}
+}
+
+// Fig2Row is one benchmark's serial/parallel mean dynamic basic-block
+// length in bytes.
+type Fig2Row struct {
+	Benchmark  string
+	SerialBB   float64
+	ParallelBB float64
+}
+
+// Fig2Result reproduces Figure 2: the average dynamic basic block
+// length in serial and parallel parts of the code, measured on the
+// master thread, with the paper's amean row.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2 characterises basic-block lengths for all selected benchmarks.
+func Fig2(r *Runner) (*Fig2Result, error) {
+	out := &Fig2Result{}
+	for _, p := range r.opts.profiles() {
+		w, err := r.charWorkload(p)
+		if err != nil {
+			return nil, err
+		}
+		var serBytes, serBlocks, parBytes, parBlocks uint64
+		err = sectionWalk(w.Source(0), func(rec trace.Record, inParallel bool) {
+			if inParallel {
+				parBytes += uint64(rec.Len)
+				parBlocks++
+			} else {
+				serBytes += uint64(rec.Len)
+				serBlocks++
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{Benchmark: p.Name}
+		if serBlocks > 0 {
+			row.SerialBB = float64(serBytes) / float64(serBlocks)
+		}
+		if parBlocks > 0 {
+			row.ParallelBB = float64(parBytes) / float64(parBlocks)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AMean returns the arithmetic means of the two series.
+func (f *Fig2Result) AMean() (serial, parallel float64) {
+	var s, p []float64
+	for _, r := range f.Rows {
+		s = append(s, r.SerialBB)
+		p = append(p, r.ParallelBB)
+	}
+	return stats.Mean(s), stats.Mean(p)
+}
+
+// Table renders the figure.
+func (f *Fig2Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 2: average dynamic basic block length [B]",
+		"serial", "parallel")
+	for _, r := range f.Rows {
+		t.AddRow(r.Benchmark, r.SerialBB, r.ParallelBB)
+	}
+	s, p := f.AMean()
+	t.AddRow("amean", s, p)
+	return t
+}
+
+// Fig3Row is one benchmark's serial/parallel I-cache MPKI against a
+// standalone 32 KB 8-way cache.
+type Fig3Row struct {
+	Benchmark    string
+	SerialMPKI   float64
+	ParallelMPKI float64
+}
+
+// Fig3Result reproduces Figure 3: I-cache MPKI in serial and parallel
+// code with a 32 KB, 8-way, 64 B-line LRU I-cache.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3 measures MPKI per section for all selected benchmarks.
+func Fig3(r *Runner) (*Fig3Result, error) {
+	geom := cachesim.Config{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8}
+	out := &Fig3Result{}
+	for _, p := range r.opts.profiles() {
+		w, err := r.charWorkload(p)
+		if err != nil {
+			return nil, err
+		}
+		cache := cachesim.New(geom)
+		for _, line := range w.WarmLines(0, geom.LineBytes) {
+			cache.Install(line)
+		}
+		lineMask := ^uint64(geom.LineBytes - 1)
+		var serInstr, serMiss, parInstr, parMiss uint64
+		err = sectionWalk(w.Source(0), func(rec trace.Record, inParallel bool) {
+			miss := uint64(0)
+			end := rec.Addr + uint64(rec.Len)
+			for line := rec.Addr & lineMask; line < end; line += uint64(geom.LineBytes) {
+				if !cache.Access(line).Hit {
+					miss++
+				}
+			}
+			if inParallel {
+				parInstr += uint64(rec.NumInstr)
+				parMiss += miss
+			} else {
+				serInstr += uint64(rec.NumInstr)
+				serMiss += miss
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig3Row{Benchmark: p.Name}
+		if serInstr > 0 {
+			row.SerialMPKI = float64(serMiss) / float64(serInstr) * 1000
+		}
+		if parInstr > 0 {
+			row.ParallelMPKI = float64(parMiss) / float64(parInstr) * 1000
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AMean returns the arithmetic means of the two series.
+func (f *Fig3Result) AMean() (serial, parallel float64) {
+	var s, p []float64
+	for _, r := range f.Rows {
+		s = append(s, r.SerialMPKI)
+		p = append(p, r.ParallelMPKI)
+	}
+	return stats.Mean(s), stats.Mean(p)
+}
+
+// Table renders the figure.
+func (f *Fig3Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 3: I-cache MPKI (32KB, 8-way, 64B, LRU)",
+		"serial", "parallel")
+	for _, r := range f.Rows {
+		t.AddRow(r.Benchmark, r.SerialMPKI, r.ParallelMPKI)
+	}
+	s, p := f.AMean()
+	t.AddRow("amean", s, p)
+	return t
+}
+
+// Fig4Row is one benchmark's static and dynamic instruction sharing
+// percentage across worker threads in parallel sections.
+type Fig4Row struct {
+	Benchmark     string
+	StaticShared  float64 // % of static footprint executed by all threads
+	DynamicShared float64 // % of dynamic instructions at all-thread addresses
+}
+
+// Fig4Result reproduces Figure 4: instruction sharing across all
+// threads in parallel sections.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 measures code sharing for all selected benchmarks.
+func Fig4(r *Runner) (*Fig4Result, error) {
+	out := &Fig4Result{}
+	for _, p := range r.opts.profiles() {
+		w, err := r.charWorkload(p)
+		if err != nil {
+			return nil, err
+		}
+		n := r.opts.Workers
+		// Per-block dynamic instruction counts and executor sets, over
+		// worker threads (threads 1..n), parallel sections only.
+		type blockInfo struct {
+			sizeInstr uint32
+			execBy    int    // number of distinct threads
+			dynInstr  uint64 // total dynamic instructions
+		}
+		blocks := map[uint64]*blockInfo{}
+		for t := 1; t <= n; t++ {
+			seen := map[uint64]bool{}
+			err := sectionWalk(w.Source(t), func(rec trace.Record, inParallel bool) {
+				if !inParallel {
+					return
+				}
+				b := blocks[rec.Addr]
+				if b == nil {
+					b = &blockInfo{sizeInstr: rec.NumInstr}
+					blocks[rec.Addr] = b
+				}
+				b.dynInstr += uint64(rec.NumInstr)
+				if !seen[rec.Addr] {
+					seen[rec.Addr] = true
+					b.execBy++
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		var statShared, statTotal, dynShared, dynTotal uint64
+		for _, b := range blocks {
+			statTotal += uint64(b.sizeInstr)
+			dynTotal += b.dynInstr
+			if b.execBy == n {
+				statShared += uint64(b.sizeInstr)
+				dynShared += b.dynInstr
+			}
+		}
+		row := Fig4Row{Benchmark: p.Name}
+		if statTotal > 0 {
+			row.StaticShared = 100 * float64(statShared) / float64(statTotal)
+		}
+		if dynTotal > 0 {
+			row.DynamicShared = 100 * float64(dynShared) / float64(dynTotal)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AMean returns the arithmetic means of the two series.
+func (f *Fig4Result) AMean() (static, dynamic float64) {
+	var s, d []float64
+	for _, r := range f.Rows {
+		s = append(s, r.StaticShared)
+		d = append(d, r.DynamicShared)
+	}
+	return stats.Mean(s), stats.Mean(d)
+}
+
+// Table renders the figure.
+func (f *Fig4Result) Table() *stats.Table {
+	t := stats.NewTable("Fig 4: instruction sharing across threads [%] (parallel sections)",
+		"static", "dynamic")
+	for _, r := range f.Rows {
+		t.AddRow(r.Benchmark, r.StaticShared, r.DynamicShared)
+	}
+	s, d := f.AMean()
+	t.AddRow("amean", s, d)
+	return t
+}
+
+// profileFor returns the profile of a named benchmark; it panics on an
+// unknown name (callers validate via Options).
+func profileFor(name string) synth.Profile {
+	p, ok := synth.ProfileByName(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown benchmark %q", name))
+	}
+	return p
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files instead of comparing.
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCompare checks rendered output against testdata/<name>.golden.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s output drifted from golden file.\n--- want\n%s\n--- got\n%s",
+			name, want, got)
+	}
+}
+
+// TestGoldenFig1 pins the closed-form Fig 1 table: any drift in the
+// Hill-Marty model or the table renderer shows up as a diff.
+func TestGoldenFig1(t *testing.T) {
+	r := testRunner(t)
+	res, err := Fig1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "fig1", res.Table().String())
+}
+
+// TestGoldenTableI pins the Table I configuration rendering.
+func TestGoldenTableI(t *testing.T) {
+	r := testRunner(t)
+	res, err := TableI(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "table1", res.Table().String())
+}

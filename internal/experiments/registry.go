@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sharedicache/internal/stats"
+)
+
+// Renderable is the common face of every figure result.
+type Renderable interface {
+	Table() *stats.Table
+}
+
+// Experiment couples a figure id with its runner.
+type Experiment struct {
+	// ID is the figure/table identifier ("fig1" ... "fig13", "table1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func(r *Runner) (Renderable, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	wrap := func(f func(*Runner) (Renderable, error)) func(*Runner) (Renderable, error) {
+		return f
+	}
+	return []Experiment{
+		{"fig1", "ACMP vs symmetric CMP speedup (Hill-Marty model)",
+			wrap(func(r *Runner) (Renderable, error) { return Fig1(r) })},
+		{"fig2", "Basic block length, serial vs parallel",
+			wrap(func(r *Runner) (Renderable, error) { return Fig2(r) })},
+		{"fig3", "I-cache MPKI, serial vs parallel (32KB)",
+			wrap(func(r *Runner) (Renderable, error) { return Fig3(r) })},
+		{"fig4", "Instruction sharing across threads",
+			wrap(func(r *Runner) (Renderable, error) { return Fig4(r) })},
+		{"table1", "Simulated ACMP configuration",
+			wrap(func(r *Runner) (Renderable, error) { return TableI(r) })},
+		{"fig7", "Naive sharing: normalized execution time",
+			wrap(func(r *Runner) (Renderable, error) { return Fig7(r) })},
+		{"fig8", "CPI stack at cpc=8, single bus",
+			wrap(func(r *Runner) (Renderable, error) { return Fig8(r) })},
+		{"fig9", "I-cache access ratio by line buffers",
+			wrap(func(r *Runner) (Renderable, error) { return Fig9(r) })},
+		{"fig10", "Line buffers vs interconnect bandwidth",
+			wrap(func(r *Runner) (Renderable, error) { return Fig10(r) })},
+		{"fig11", "Shared vs private worker MPKI",
+			wrap(func(r *Runner) (Renderable, error) { return Fig11(r) })},
+		{"fig12", "Execution time, energy and area",
+			wrap(func(r *Runner) (Renderable, error) { return Fig12(r) })},
+		{"fig13", "All-shared vs worker-shared by serial fraction",
+			wrap(func(r *Runner) (Renderable, error) { return Fig13(r) })},
+		{"ext-scale", "Extension: sharing-degree scalability sweep",
+			wrap(func(r *Runner) (Renderable, error) { return ExtScale(r) })},
+		{"ext-cold", "Extension: cold-cache regime (sharing as a prefetcher)",
+			wrap(func(r *Runner) (Renderable, error) { return ExtCold(r) })},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := IDs()
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// IDs lists the available experiment ids in paper order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}

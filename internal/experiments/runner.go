@@ -1,0 +1,228 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Figs 1-4, Table I, Figs 7-13) from the simulator
+// and models in this repository. Each figure has a Fig* function
+// returning a structured result with a Table() renderer; the registry
+// in registry.go exposes them by id to cmd/experiments and the root
+// bench harness.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/synth"
+	"sharedicache/internal/trace"
+)
+
+// Options scales a whole experiment campaign.
+type Options struct {
+	// Workers is the lean-core count (paper: 8).
+	Workers int
+	// Instructions is the master-thread instruction budget per
+	// benchmark. The paper traces >=20 G instructions; the default here
+	// is laptop-scale and EXPERIMENTS.md documents the effect.
+	Instructions uint64
+	// Seed drives workload synthesis.
+	Seed uint64
+	// Benchmarks restricts the run to a subset of profile names; nil
+	// means all 24.
+	Benchmarks []string
+	// Prewarm starts timing runs from steady-state cache contents (the
+	// state the paper's 20+ G instruction traces measure). Miss-count
+	// experiments (Fig 11) always run cold regardless, because the
+	// cold-miss dynamics are the phenomenon they study.
+	Prewarm bool
+	// CharInstructions is the master instruction budget for the
+	// trace-characterisation figures (2-4), which walk traces without
+	// cycle simulation and so afford much longer runs. Task-based
+	// (kernel-skewed) benchmarks need the length for every worker to
+	// wrap the whole code region, as the real runs do. 0 means
+	// max(Instructions, 2M).
+	CharInstructions uint64
+}
+
+// DefaultOptions returns the campaign configuration used by
+// cmd/experiments and the benches.
+func DefaultOptions() Options {
+	return Options{Workers: 8, Instructions: 120_000, Seed: 1, Prewarm: true}
+}
+
+// charInstructions resolves the characterisation budget.
+func (o Options) charInstructions() uint64 {
+	if o.CharInstructions > 0 {
+		return o.CharInstructions
+	}
+	if o.Instructions > 2_000_000 {
+		return o.Instructions
+	}
+	return 2_000_000
+}
+
+// Validate reports option errors, including unknown benchmark names.
+func (o Options) Validate() error {
+	if o.Workers < 1 {
+		return fmt.Errorf("experiments: Workers = %d must be positive", o.Workers)
+	}
+	if o.Instructions < 1000 {
+		return fmt.Errorf("experiments: Instructions = %d below synthesis minimum", o.Instructions)
+	}
+	for _, b := range o.Benchmarks {
+		if _, ok := synth.ProfileByName(b); !ok {
+			return fmt.Errorf("experiments: unknown benchmark %q", b)
+		}
+	}
+	return nil
+}
+
+// profiles returns the selected benchmark profiles in plotting order.
+func (o Options) profiles() []synth.Profile {
+	all := synth.Profiles()
+	if len(o.Benchmarks) == 0 {
+		return all
+	}
+	sel := make([]synth.Profile, 0, len(o.Benchmarks))
+	for _, name := range o.Benchmarks {
+		if p, ok := synth.ProfileByName(name); ok {
+			sel = append(sel, p)
+		}
+	}
+	return sel
+}
+
+// Runner caches simulation results so that figures sharing design
+// points (e.g. the cpc=8 single-bus runs of Figs 7, 8 and 10) pay for
+// each simulation once. It is safe for concurrent use.
+type Runner struct {
+	opts Options
+
+	mu   sync.Mutex
+	runs map[runKey]*core.Result
+}
+
+type runKey struct {
+	bench   string
+	cfg     core.Config
+	prewarm bool
+}
+
+// NewRunner builds a Runner; it errors on invalid options.
+func NewRunner(opts Options) (*Runner, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{opts: opts, runs: map[runKey]*core.Result{}}, nil
+}
+
+// Options returns the campaign options.
+func (r *Runner) Options() Options { return r.opts }
+
+// workload synthesises the benchmark's workload for these options.
+func (r *Runner) workload(p synth.Profile) (*synth.Workload, error) {
+	return synth.New(p, synth.Config{
+		Workers:            r.opts.Workers,
+		MasterInstructions: r.opts.Instructions,
+		Seed:               r.opts.Seed,
+	})
+}
+
+// charWorkload synthesises the longer workload the characterisation
+// figures (2-4) walk.
+func (r *Runner) charWorkload(p synth.Profile) (*synth.Workload, error) {
+	return synth.New(p, synth.Config{
+		Workers:            r.opts.Workers,
+		MasterInstructions: r.opts.charInstructions(),
+		Seed:               r.opts.Seed,
+	})
+}
+
+// Simulate runs (or returns the cached result of) one benchmark on one
+// ACMP configuration, honouring the campaign's Prewarm option.
+func (r *Runner) Simulate(bench string, cfg core.Config) (*core.Result, error) {
+	return r.simulate(bench, cfg, r.opts.Prewarm)
+}
+
+// SimulateCold is Simulate with prewarming forced off, for the
+// experiments whose subject is the cold-miss behaviour itself.
+func (r *Runner) SimulateCold(bench string, cfg core.Config) (*core.Result, error) {
+	return r.simulate(bench, cfg, false)
+}
+
+func (r *Runner) simulate(bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+	cfg.Workers = r.opts.Workers
+	key := runKey{bench: bench, cfg: cfg, prewarm: prewarm}
+	r.mu.Lock()
+	if res, ok := r.runs[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	p, ok := synth.ProfileByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+	}
+	w, err := r.workload(p)
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]trace.Source, w.NumThreads())
+	for i := range srcs {
+		srcs[i] = w.Source(i)
+	}
+	sim, err := core.New(cfg, srcs)
+	if err != nil {
+		return nil, err
+	}
+	if prewarm {
+		ic := make([][]uint64, len(srcs))
+		l2 := make([][]uint64, len(srcs))
+		for i := range srcs {
+			ic[i] = w.WarmLines(i, cfg.ICache.LineBytes)
+			l2[i] = w.L2WarmLines(i, cfg.Mem.L2.LineBytes)
+		}
+		sim.Prewarm(ic, l2)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s/cpc=%d: %w",
+			bench, cfg.Organization, cfg.CPC, err)
+	}
+	r.mu.Lock()
+	r.runs[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// CachedRuns reports how many distinct simulations have completed.
+func (r *Runner) CachedRuns() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.runs)
+}
+
+// baselineConfig is the Fig 5a private-I-cache ACMP.
+func baselineConfig() core.Config { return core.DefaultConfig() }
+
+// sharedConfig returns a worker-shared configuration with the given
+// sharing degree, cache size, line buffers and bus count.
+func sharedConfig(cpc, sizeKB, lineBuffers, buses int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Organization = core.OrgWorkerShared
+	cfg.CPC = cpc
+	cfg.ICache.SizeBytes = sizeKB << 10
+	cfg.LineBuffers = lineBuffers
+	cfg.Buses = buses
+	return cfg
+}
+
+// allSharedConfig returns the §VI-E organisation: one I-cache for all
+// cores including the master.
+func allSharedConfig(sizeKB, lineBuffers, buses int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Organization = core.OrgAllShared
+	cfg.ICache.SizeBytes = sizeKB << 10
+	cfg.LineBuffers = lineBuffers
+	cfg.Buses = buses
+	return cfg
+}

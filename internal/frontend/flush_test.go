@@ -1,0 +1,181 @@
+package frontend
+
+import (
+	"testing"
+
+	"sharedicache/internal/backend"
+	"sharedicache/internal/branch"
+	"sharedicache/internal/trace"
+)
+
+// slowPort resolves requests after a long fixed latency, so fills are
+// reliably in flight when a flush lands.
+type slowPort struct {
+	latency  uint64
+	requests []uint64
+}
+
+func (p *slowPort) Request(now uint64, lineAddr uint64) *LineRequest {
+	p.requests = append(p.requests, lineAddr)
+	return &LineRequest{
+		LineAddr: lineAddr, SubmitAt: now,
+		Granted: true, GrantAt: now,
+		Resolved: true, ReadyAt: now + p.latency,
+		Hit: true, CacheLatency: int(p.latency),
+	}
+}
+
+// trainMispredict returns a front-end plus a block whose branch the
+// fresh predictor will mispredict (gshare counters initialise to
+// weakly taken, so a not-taken branch mispredicts).
+func trainMispredict(p ICachePort) (*FrontEnd, trace.Record) {
+	fe := New(cfg4(), p, branch.NewDefault())
+	notTaken := fb(0x5000, 32, false, 0x5020)
+	return fe, notTaken
+}
+
+func TestMispredictOpensBubble(t *testing.T) {
+	port := &slowPort{latency: 2}
+	fe, mispredicted := trainMispredict(port)
+	fe.PushBlock(0, mispredicted)
+	if fe.Stats().Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d, want 1", fe.Stats().Mispredicts)
+	}
+	// During the penalty window no new block is accepted.
+	if fe.CanAccept(3) {
+		t.Fatal("redirect bubble should block acceptance")
+	}
+	if !fe.CanAccept(8) {
+		t.Fatal("bubble should close after the penalty")
+	}
+}
+
+func TestFlushDiscardsPendingFills(t *testing.T) {
+	port := &slowPort{latency: 100}
+	fe, mispredicted := trainMispredict(port)
+	be := backend.New(64, 1000)
+
+	// A long block (taken branch, predicted correctly by the weakly
+	// taken fresh counters) issues fills that stay pending ~100 cycles.
+	fe.PushBlock(0, fb(0x1000, 128, true, 0x2000))
+	fe.Tick(0, be)
+	fe.Tick(1, be)
+	if len(port.requests) == 0 {
+		t.Fatal("no fills issued")
+	}
+	issued := len(port.requests)
+
+	// The mispredicted push flushes the in-flight fills.
+	fe.PushBlock(2, mispredicted)
+	if fe.Drained() {
+		t.Fatal("FTQ should still hold blocks")
+	}
+	// Run past the bubble: the discarded lines must be re-requested.
+	for now := uint64(3); now < 40; now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	if len(port.requests) <= issued {
+		t.Fatalf("flushed fills were not refetched: %d requests before flush, %d after",
+			issued, len(port.requests))
+	}
+}
+
+func TestCorrectPredictionDoesNotFlush(t *testing.T) {
+	port := &slowPort{latency: 100}
+	fe := New(cfg4(), port, branch.NewDefault())
+	be := backend.New(64, 1000)
+	fe.PushBlock(0, fb(0x1000, 128, true, 0x1080))
+	fe.Tick(0, be)
+	fe.Tick(1, be)
+	issued := len(port.requests)
+	// A taken branch is predicted correctly by a fresh gshare (weakly
+	// taken counters).
+	fe.PushBlock(2, fb(0x1080, 32, true, 0x2000))
+	fe.Tick(3, be)
+	fe.Tick(4, be)
+	// The pending fills must still be pending (not discarded and
+	// re-requested).
+	for _, r := range port.requests[issued:] {
+		for _, prev := range port.requests[:issued] {
+			if r == prev {
+				t.Fatalf("line %#x was re-requested without a mispredict", r)
+			}
+		}
+	}
+}
+
+// starvePort never resolves: requests stay pending forever, which
+// maximises the chance of buffer-allocation corner cases.
+type starvePort struct{ requests []uint64 }
+
+func (p *starvePort) Request(now uint64, lineAddr uint64) *LineRequest {
+	p.requests = append(p.requests, lineAddr)
+	return &LineRequest{LineAddr: lineAddr, SubmitAt: now}
+}
+
+func TestHeadAlwaysProgressesAfterFlush(t *testing.T) {
+	// Regression test for the post-flush starvation deadlock: after a
+	// flush discards the head's in-flight line while later entries keep
+	// valid buffers, the head must still be able to re-request its line.
+	port := &fakePort{latency: 1}
+	fe := New(Config{LineBuffers: 2, FTQDepth: 8, LineBytes: 64, MispredictPenalty: 4},
+		port, branch.NewDefault())
+	be := backend.New(8, 1000) // tiny queue to keep blocks in the FTQ
+
+	// Three two-line blocks ending in not-taken branches (mispredicted
+	// on a fresh predictor -> flush while fills are in flight).
+	fe.PushBlock(0, fb(0x1000, 128, false, 0x1080))
+	var now uint64 = 1
+	for ; now < 6; now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	if fe.CanAccept(now) {
+		fe.PushBlock(now, fb(0x2000, 128, false, 0x2080))
+	}
+	for ; now < 12; now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	if fe.CanAccept(now) {
+		fe.PushBlock(now, fb(0x3000, 128, false, 0x3080))
+	}
+	// Drive to completion; a starved head would spin forever.
+	deadline := now + 3000
+	for ; now < deadline && !fe.Drained(); now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	if !fe.Drained() {
+		t.Fatalf("front-end failed to drain within %d cycles (head starvation)", deadline)
+	}
+}
+
+func TestAccessRatioCountsReuse(t *testing.T) {
+	port := &fakePort{latency: 1}
+	fe := newFE(port)
+	be := backend.New(256, 4000)
+	// Two short blocks on the same line: the second reuses the buffer.
+	fe.PushBlock(0, fb(0x1000, 16, true, 0x1010))
+	var now uint64 = 1
+	for ; now < 4; now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	fe.PushBlock(now, fb(0x1010, 16, true, 0x9000))
+	for ; now < 10; now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	st := fe.Stats()
+	if st.CacheFetches != 1 {
+		t.Fatalf("cache fetches = %d, want 1 (same-line reuse)", st.CacheFetches)
+	}
+	if st.LineNeeds != 2 {
+		t.Fatalf("line needs = %d, want 2", st.LineNeeds)
+	}
+	if got := st.AccessRatio(); got != 0.5 {
+		t.Fatalf("access ratio = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,393 @@
+// Package frontend implements the decoupled core front-end of §IV-A:
+// a fetch (branch) predictor feeding a fetch target queue (FTQ), a
+// small set of line buffers that act as prefetch buffers and
+// outstanding-request slots, and delivery of fetched instructions into
+// the back-end's instruction queue.
+//
+// The branch predictor is decoupled from the I-cache by the FTQ: blocks
+// are pushed as fast as prediction allows, and line fetches for FTQ
+// entries run ahead of consumption, which is what hides a multi-cycle
+// shared I-cache latency when it works — and what Fig 7/8 measure when
+// it does not.
+package frontend
+
+import (
+	"fmt"
+
+	"sharedicache/internal/backend"
+	"sharedicache/internal/branch"
+	"sharedicache/internal/trace"
+)
+
+// Config sizes one core's front-end.
+type Config struct {
+	// LineBuffers is the number of 64 B line buffers (Table I: 2/4/8).
+	LineBuffers int
+	// FTQDepth is the fetch target queue capacity in blocks.
+	FTQDepth int
+	// LineBytes is the I-cache line size (Table I: 64).
+	LineBytes int
+	// MispredictPenalty is the redirect bubble in cycles.
+	MispredictPenalty int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LineBuffers < 1 {
+		return fmt.Errorf("frontend: need at least 1 line buffer, got %d", c.LineBuffers)
+	}
+	if c.FTQDepth < 1 {
+		return fmt.Errorf("frontend: need FTQ depth >= 1, got %d", c.FTQDepth)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("frontend: line size %d not a positive power of two", c.LineBytes)
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("frontend: negative mispredict penalty")
+	}
+	return nil
+}
+
+// Stats counts front-end activity.
+type Stats struct {
+	BlocksPushed   uint64
+	InstrDelivered uint64
+	// LineNeeds is every (block, line) fetch request the front-end
+	// generated; CacheFetches is the subset that had to go to the
+	// I-cache because no line buffer held the line. Their ratio is the
+	// paper's Fig 9 "I-cache access ratio".
+	LineNeeds    uint64
+	CacheFetches uint64
+	Mispredicts  uint64
+}
+
+// AccessRatio returns CacheFetches / LineNeeds in [0,1].
+func (s Stats) AccessRatio() float64 {
+	if s.LineNeeds == 0 {
+		return 0
+	}
+	return float64(s.CacheFetches) / float64(s.LineNeeds)
+}
+
+type ftqEntry struct {
+	addr     uint64
+	length   uint32
+	numInstr uint32
+	// consumed tracks delivery progress in bytes from addr.
+	consumed uint32
+	// needIssued tracks request-issue progress in bytes from addr
+	// (line granularity, runs ahead of consumed).
+	needIssued uint32
+}
+
+type lineBuffer struct {
+	lineAddr uint64
+	valid    bool
+	pending  *LineRequest
+	lastUse  uint64
+	inUse    bool
+}
+
+// FrontEnd is one core's instruction-fetch pipeline.
+type FrontEnd struct {
+	cfg  Config
+	port ICachePort
+	pred *branch.Predictor
+
+	ftq        []ftqEntry
+	bufs       []lineBuffer
+	stallUntil uint64
+	stats      Stats
+	lineMask   uint64
+}
+
+// New builds a front-end fetching through port with predictor pred.
+// It panics on invalid configuration.
+func New(cfg Config, port ICachePort, pred *branch.Predictor) *FrontEnd {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if port == nil || pred == nil {
+		panic("frontend: nil port or predictor")
+	}
+	return &FrontEnd{
+		cfg:      cfg,
+		port:     port,
+		pred:     pred,
+		bufs:     make([]lineBuffer, cfg.LineBuffers),
+		lineMask: ^uint64(cfg.LineBytes - 1),
+	}
+}
+
+// CanAccept reports whether a new fetch block can enter the FTQ at
+// cycle now (space available and no active redirect bubble).
+func (f *FrontEnd) CanAccept(now uint64) bool {
+	return now >= f.stallUntil && len(f.ftq) < f.cfg.FTQDepth
+}
+
+// PushBlock inserts the next fetch block from the (correct-path) trace.
+// The terminating branch, if any, is run through the predictor; a
+// misprediction opens a redirect bubble during which no further blocks
+// are accepted.
+func (f *FrontEnd) PushBlock(now uint64, rec trace.Record) {
+	if rec.Kind != trace.KindFetchBlock {
+		panic(fmt.Sprintf("frontend: PushBlock got %v", rec.Kind))
+	}
+	if !f.CanAccept(now) {
+		panic("frontend: PushBlock without CanAccept")
+	}
+	f.ftq = append(f.ftq, ftqEntry{addr: rec.Addr, length: rec.Len, numInstr: rec.NumInstr})
+	f.stats.BlocksPushed++
+	if rec.HasBranch {
+		if _, correct := f.pred.Predict(rec.BranchAddr, rec.Taken); !correct {
+			f.stats.Mispredicts++
+			f.stallUntil = now + uint64(f.cfg.MispredictPenalty)
+			f.flush()
+		}
+	}
+}
+
+// flush models the redirect of §IV-A: "the pending I-cache requests
+// are discarded and all front-end stages of the pipeline flushed".
+// Buffers with in-flight fills are dropped (the fill completes in the
+// cache but the orphaned grant is ignored), so the blocks that needed
+// those lines refetch them after the redirect and pay the full I-cache
+// path latency again — the mechanism that makes a shared I-cache
+// expensive for branchy serial code (Fig 13). Already-valid buffers
+// survive, as their data lives in registers that a redirect does not
+// scrub.
+func (f *FrontEnd) flush() {
+	for i := range f.bufs {
+		if f.bufs[i].pending != nil {
+			f.bufs[i] = lineBuffer{}
+		}
+	}
+}
+
+// findBuffer returns the buffer index holding lineAddr (valid or
+// pending), or -1.
+func (f *FrontEnd) findBuffer(lineAddr uint64) int {
+	for i := range f.bufs {
+		b := &f.bufs[i]
+		if (b.valid || b.pending != nil) && b.lineAddr == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
+// liveLines collects the lines FTQ entries have issued but not yet
+// consumed past, mapped to the oldest entry needing each: those line
+// buffers are still owed to the pipeline, and evicting one forces a
+// duplicate fetch.
+func (f *FrontEnd) liveLines() map[uint64]int {
+	live := make(map[uint64]int, len(f.bufs))
+	for i := len(f.ftq) - 1; i >= 0; i-- {
+		e := &f.ftq[i]
+		for off := e.consumed; off < e.needIssued; {
+			line := (e.addr + uint64(off)) & f.lineMask
+			live[line] = i // older entries overwrite younger owners
+			off = uint32(line + uint64(f.cfg.LineBytes) - e.addr)
+		}
+	}
+	return live
+}
+
+// allocBuffer picks a victim buffer for a request by FTQ entry
+// forEntry: an empty slot if one exists, else the least-recently-used
+// valid, not-pending, not-in-use buffer whose line no FTQ entry still
+// needs. When the requester is the pipeline head and every candidate
+// is still live, the line owned by the youngest non-head entry is
+// sacrificed (it refetches later via the head rewind) so the head can
+// always make progress; younger requesters wait instead of thrashing.
+// It returns -1 when no victim is eligible.
+func (f *FrontEnd) allocBuffer(forEntry int) int {
+	victim := -1
+	lastResort, lastOwner := -1, 0
+	var live map[uint64]int
+	for i := range f.bufs {
+		b := &f.bufs[i]
+		if b.pending != nil || b.inUse {
+			continue
+		}
+		if !b.valid {
+			return i
+		}
+		if live == nil {
+			live = f.liveLines()
+		}
+		if owner, ok := live[b.lineAddr]; ok {
+			if owner > lastOwner {
+				lastResort, lastOwner = i, owner
+			}
+			continue
+		}
+		if victim < 0 || b.lastUse < f.bufs[victim].lastUse {
+			victim = i
+		}
+	}
+	if victim < 0 && forEntry == 0 {
+		return lastResort
+	}
+	return victim
+}
+
+// Tick advances the fetch pipeline one cycle: complete fills, issue at
+// most one new line request, and deliver ready instructions from the
+// FTQ head into the back-end queue (at most one line's worth per
+// cycle, the fetch bandwidth of Table I).
+func (f *FrontEnd) Tick(now uint64, be *backend.Backend) {
+	// Fill stage: latch completed requests.
+	for i := range f.bufs {
+		b := &f.bufs[i]
+		if b.pending != nil && b.pending.Ready(now) {
+			b.valid = true
+			b.pending = nil
+		}
+	}
+
+	f.issue(now)
+	f.deliver(now, be)
+}
+
+// issue walks the FTQ in order and requests the first line that is not
+// yet covered by a line buffer (one request per cycle, one outstanding
+// request per buffer).
+func (f *FrontEnd) issue(now uint64) {
+	// Protect the line the head block is consuming (or about to): it
+	// must not be evicted by requests for younger blocks, and if it
+	// already was, rewind the issue cursor so it is fetched again.
+	if len(f.ftq) > 0 {
+		e := &f.ftq[0]
+		line := (e.addr + uint64(e.consumed)) & f.lineMask
+		if j := f.findBuffer(line); j >= 0 {
+			f.bufs[j].inUse = true
+		} else if e.needIssued > e.consumed {
+			e.needIssued = e.consumed
+		}
+	}
+	for i := range f.ftq {
+		e := &f.ftq[i]
+		for e.needIssued < e.length {
+			line := (e.addr + uint64(e.needIssued)) & f.lineMask
+			f.stats.LineNeeds++
+			if j := f.findBuffer(line); j >= 0 {
+				f.bufs[j].lastUse = now
+				e.needIssued = f.advanceToNextLine(e, e.needIssued, line)
+				continue
+			}
+			j := f.allocBuffer(i)
+			if j < 0 {
+				// All buffers busy: retry next cycle. Un-count the
+				// need so the retry is not double-counted.
+				f.stats.LineNeeds--
+				return
+			}
+			b := &f.bufs[j]
+			b.lineAddr = line
+			b.valid = false
+			b.lastUse = now
+			b.pending = f.port.Request(now, line)
+			f.stats.CacheFetches++
+			e.needIssued = f.advanceToNextLine(e, e.needIssued, line)
+			return // one request per cycle
+		}
+	}
+}
+
+// advanceToNextLine moves the issue cursor past the portion of the
+// block covered by line.
+func (f *FrontEnd) advanceToNextLine(e *ftqEntry, offset uint32, line uint64) uint32 {
+	lineEnd := line + uint64(f.cfg.LineBytes)
+	covered := lineEnd - (e.addr + uint64(offset))
+	next := offset + uint32(covered)
+	if next > e.length {
+		next = e.length
+	}
+	return next
+}
+
+// deliver moves instructions of the FTQ head block into the back-end
+// queue, up to one line's worth per cycle.
+func (f *FrontEnd) deliver(now uint64, be *backend.Backend) {
+	// Clear in-use marks; re-set for the line being consumed.
+	for i := range f.bufs {
+		f.bufs[i].inUse = false
+	}
+	if len(f.ftq) == 0 {
+		return
+	}
+	e := &f.ftq[0]
+	cur := e.addr + uint64(e.consumed)
+	line := cur & f.lineMask
+	j := f.findBuffer(line)
+	if j < 0 || !f.bufs[j].valid {
+		return // line not arrived yet
+	}
+	b := &f.bufs[j]
+	b.lastUse = now
+	b.inUse = true
+	lineEnd := line + uint64(f.cfg.LineBytes)
+	blockEnd := e.addr + uint64(e.length)
+	avail := lineEnd
+	if blockEnd < lineEnd {
+		avail = blockEnd
+	}
+	instrAvail := int(avail-cur) / 4
+	n := be.Push(min(instrAvail, be.Free()))
+	e.consumed += uint32(n * 4)
+	f.stats.InstrDelivered += uint64(n)
+	if e.consumed >= e.length {
+		f.ftq = f.ftq[1:]
+	}
+}
+
+// BlockReason classifies what the front-end is blocked on at cycle now,
+// for CPI-stack attribution when the back-end queue runs dry.
+func (f *FrontEnd) BlockReason(now uint64) backend.StallKind {
+	if now < f.stallUntil {
+		return backend.StallBranch
+	}
+	if len(f.ftq) == 0 {
+		return backend.StallDrain
+	}
+	e := &f.ftq[0]
+	line := (e.addr + uint64(e.consumed)) & f.lineMask
+	if j := f.findBuffer(line); j >= 0 {
+		b := &f.bufs[j]
+		if b.valid {
+			// Data present; the stall is elsewhere (delivery this
+			// cycle will drain it).
+			return backend.StallDrain
+		}
+		return b.pending.Stall(now)
+	}
+	// Request not yet issued (buffer shortage): the front-end cannot
+	// even ask — classify as congestion, since more buffers or more
+	// bandwidth would relieve it.
+	return backend.StallBusQueue
+}
+
+// Drained reports whether the FTQ is empty and no fills are pending,
+// i.e. the front-end holds no in-flight work.
+func (f *FrontEnd) Drained() bool {
+	if len(f.ftq) > 0 {
+		return false
+	}
+	for i := range f.bufs {
+		if f.bufs[i].pending != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (f *FrontEnd) Stats() Stats { return f.stats }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

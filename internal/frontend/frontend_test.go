@@ -1,0 +1,276 @@
+package frontend
+
+import (
+	"testing"
+
+	"sharedicache/internal/backend"
+	"sharedicache/internal/branch"
+	"sharedicache/internal/trace"
+)
+
+// fakePort resolves every request after a fixed latency.
+type fakePort struct {
+	latency  uint64
+	requests []uint64
+}
+
+func (p *fakePort) Request(now uint64, lineAddr uint64) *LineRequest {
+	p.requests = append(p.requests, lineAddr)
+	return &LineRequest{
+		LineAddr: lineAddr, SubmitAt: now,
+		Granted: true, GrantAt: now,
+		Resolved: true, ReadyAt: now + p.latency,
+		Hit: true, CacheLatency: int(p.latency),
+	}
+}
+
+func cfg4() Config {
+	return Config{LineBuffers: 4, FTQDepth: 8, LineBytes: 64, MispredictPenalty: 8}
+}
+
+func fb(addr uint64, length uint32, taken bool, target uint64) trace.Record {
+	return trace.Record{
+		Kind: trace.KindFetchBlock, Addr: addr, Len: length, NumInstr: length / 4,
+		HasBranch: true, BranchAddr: addr + uint64(length) - 4,
+		Taken: taken, Target: target,
+	}
+}
+
+func newFE(p ICachePort) *FrontEnd {
+	return New(cfg4(), p, branch.NewDefault())
+}
+
+func TestDeliverSingleBlock(t *testing.T) {
+	port := &fakePort{latency: 1}
+	fe := newFE(port)
+	be := backend.New(64, 4000)
+	fe.PushBlock(0, fb(0x1000, 32, true, 0x2000))
+	var now uint64
+	for ; now < 10 && be.Committed() < 8; now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	if be.Committed() != 8 {
+		t.Fatalf("committed %d of 8 instructions by cycle %d", be.Committed(), now)
+	}
+	if len(port.requests) != 1 || port.requests[0] != 0x1000 {
+		t.Fatalf("requests = %#x, want one for 0x1000", port.requests)
+	}
+}
+
+func TestBlockSpanningLines(t *testing.T) {
+	port := &fakePort{latency: 1}
+	fe := newFE(port)
+	be := backend.New(256, 4000)
+	// 160-byte block starting mid-line: spans lines 0x1040..0x10c0.
+	fe.PushBlock(0, fb(0x1050, 160, true, 0x2000))
+	for now := uint64(0); now < 20; now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	if be.Committed() != 40 {
+		t.Fatalf("committed %d of 40", be.Committed())
+	}
+	want := []uint64{0x1040, 0x1080, 0x10c0}
+	if len(port.requests) != len(want) {
+		t.Fatalf("requests = %#x, want %#x", port.requests, want)
+	}
+	for i := range want {
+		if port.requests[i] != want[i] {
+			t.Fatalf("request %d = %#x, want %#x", i, port.requests[i], want[i])
+		}
+	}
+}
+
+func TestLineBufferReuseTightLoop(t *testing.T) {
+	// A 2-block loop within one line: after the first iteration, no
+	// further cache fetches (the Fig 9 effect).
+	port := &fakePort{latency: 1}
+	fe := newFE(port)
+	be := backend.New(1<<20, 4000)
+	for iter := 0; iter < 50; iter++ {
+		now := uint64(iter * 4)
+		for !fe.CanAccept(now) {
+			fe.Tick(now, be)
+			be.Tick(fe.BlockReason(now))
+			now++
+		}
+		fe.PushBlock(now, fb(0x1000, 32, true, 0x1000))
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	for now := uint64(200); now < 300 && !fe.Drained(); now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	st := fe.Stats()
+	if st.CacheFetches != 1 {
+		t.Fatalf("tight loop issued %d cache fetches, want 1", st.CacheFetches)
+	}
+	if ar := st.AccessRatio(); ar > 0.05 {
+		t.Fatalf("access ratio %.3f, want near 0", ar)
+	}
+}
+
+func TestStreamingAccessRatioHigh(t *testing.T) {
+	// Blocks streaming through new lines: nearly every need is a fetch.
+	port := &fakePort{latency: 1}
+	fe := newFE(port)
+	be := backend.New(1<<20, 16000)
+	addr := uint64(0x10000)
+	now := uint64(0)
+	for i := 0; i < 200; i++ {
+		for !fe.CanAccept(now) {
+			fe.Tick(now, be)
+			be.Tick(fe.BlockReason(now))
+			now++
+		}
+		fe.PushBlock(now, fb(addr, 256, false, addr+256))
+		addr += 256
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+		now++
+	}
+	for ; !fe.Drained(); now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	if ar := fe.Stats().AccessRatio(); ar < 0.95 {
+		t.Fatalf("streaming access ratio %.3f, want ~1", ar)
+	}
+}
+
+func TestMispredictBubble(t *testing.T) {
+	port := &fakePort{latency: 1}
+	fe := newFE(port)
+	// Train the predictor taken, then surprise it.
+	for i := uint64(0); i < 20; i++ {
+		if fe.CanAccept(i * 100) {
+			fe.PushBlock(i*100, fb(0x1000, 32, true, 0x1000))
+		}
+		be := backend.New(64, 4000)
+		for n := i * 100; n < i*100+50; n++ {
+			fe.Tick(n, be)
+			be.Tick(fe.BlockReason(n))
+		}
+	}
+	now := uint64(10_000)
+	if !fe.CanAccept(now) {
+		t.Fatal("front-end should be idle")
+	}
+	fe.PushBlock(now, fb(0x1000, 32, false, 0x1020)) // not taken: mispredict
+	if fe.Stats().Mispredicts == 0 {
+		t.Fatal("expected a misprediction")
+	}
+	if fe.CanAccept(now + 1) {
+		t.Fatal("redirect bubble should block new blocks")
+	}
+	if fe.BlockReason(now+1) != backend.StallBranch {
+		t.Fatalf("BlockReason = %v, want branch", fe.BlockReason(now+1))
+	}
+	if !fe.CanAccept(now + uint64(cfg4().MispredictPenalty)) {
+		t.Fatal("bubble should close after the penalty")
+	}
+}
+
+func TestBlockReasonBusQueue(t *testing.T) {
+	// A port that never grants: requests sit queued.
+	port := &stuckPort{}
+	fe := newFE(port)
+	be := backend.New(64, 1000)
+	fe.PushBlock(0, fb(0x1000, 32, true, 0x2000))
+	fe.Tick(0, be)
+	if got := fe.BlockReason(1); got != backend.StallBusQueue {
+		t.Fatalf("BlockReason = %v, want bus-queue", got)
+	}
+}
+
+type stuckPort struct{}
+
+func (p *stuckPort) Request(now uint64, lineAddr uint64) *LineRequest {
+	return &LineRequest{LineAddr: lineAddr, SubmitAt: now, Shared: true,
+		BusLatency: 2, CacheLatency: 1}
+}
+
+func TestLineRequestStallWindows(t *testing.T) {
+	r := &LineRequest{SubmitAt: 0, Shared: true, BusLatency: 2, CacheLatency: 1}
+	if r.Stall(5) != backend.StallBusQueue {
+		t.Fatal("ungranted request should report bus-queue")
+	}
+	r.Granted = true
+	r.GrantAt = 5
+	r.Resolved = true
+	r.ReadyAt = 40 // miss fill
+	if r.Stall(6) != backend.StallBusLatency {
+		t.Fatalf("in-traversal stall = %v", r.Stall(6))
+	}
+	if r.Stall(20) != backend.StallCacheMiss {
+		t.Fatalf("fill-window stall = %v", r.Stall(20))
+	}
+	if !r.Ready(40) || r.Ready(39) {
+		t.Fatal("Ready boundary wrong")
+	}
+	// Private request: traversal window reports cache-hit latency.
+	p := &LineRequest{Granted: true, Resolved: true, GrantAt: 0, ReadyAt: 1, CacheLatency: 1}
+	if p.Stall(0) != backend.StallCacheHit {
+		t.Fatalf("private traversal stall = %v", p.Stall(0))
+	}
+}
+
+func TestDrained(t *testing.T) {
+	port := &fakePort{latency: 1}
+	fe := newFE(port)
+	be := backend.New(64, 4000)
+	if !fe.Drained() {
+		t.Fatal("fresh front-end should be drained")
+	}
+	fe.PushBlock(0, fb(0x1000, 32, true, 0x2000))
+	if fe.Drained() {
+		t.Fatal("front-end with FTQ content is not drained")
+	}
+	for now := uint64(0); now < 10; now++ {
+		fe.Tick(now, be)
+		be.Tick(fe.BlockReason(now))
+	}
+	if !fe.Drained() {
+		t.Fatal("front-end should drain after delivery")
+	}
+}
+
+func TestOneRequestPerCycle(t *testing.T) {
+	port := &fakePort{latency: 100} // slow fills force distinct requests
+	fe := newFE(port)
+	be := backend.New(64, 1000)
+	fe.PushBlock(0, fb(0x1000, 256, true, 0x2000)) // 4 lines
+	fe.Tick(0, be)
+	if len(port.requests) != 1 {
+		t.Fatalf("cycle 0 issued %d requests, want 1", len(port.requests))
+	}
+	fe.Tick(1, be)
+	if len(port.requests) != 2 {
+		t.Fatalf("after cycle 1: %d requests, want 2", len(port.requests))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{LineBuffers: 0, FTQDepth: 8, LineBytes: 64},
+		{LineBuffers: 4, FTQDepth: 0, LineBytes: 64},
+		{LineBuffers: 4, FTQDepth: 8, LineBytes: 48},
+		{LineBuffers: 4, FTQDepth: 8, LineBytes: 64, MispredictPenalty: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+	if err := cfg4().Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestAccessRatioZeroNeeds(t *testing.T) {
+	if (Stats{}).AccessRatio() != 0 {
+		t.Fatal("zero needs should give ratio 0")
+	}
+}

@@ -1,0 +1,63 @@
+package frontend
+
+import "sharedicache/internal/backend"
+
+// LineRequest tracks one cache-line fetch from submission to data
+// arrival. It is created by an ICachePort and updated by the structure
+// that owns the port (the shared-cache controller resolves requests as
+// the bus grants them; a private cache resolves immediately).
+//
+// The timestamps divide the request's life into the attribution windows
+// of the Fig 8 CPI stack:
+//
+//	[SubmitAt, GrantAt)                      bus queueing (congestion)
+//	[GrantAt, GrantAt+BusLatency+CacheLatency)  bus traversal + SRAM access
+//	[..., ReadyAt)                           miss fill from L2/DRAM
+type LineRequest struct {
+	LineAddr uint64
+	Core     int
+
+	SubmitAt uint64
+	GrantAt  uint64
+	ReadyAt  uint64
+
+	Granted  bool
+	Resolved bool
+	Hit      bool
+	// Shared marks requests that crossed a shared interconnect, which
+	// changes how the traversal window is attributed (bus latency vs
+	// plain cache access latency).
+	Shared bool
+
+	BusLatency   int
+	CacheLatency int
+}
+
+// Ready reports whether the line data is available at cycle now.
+func (r *LineRequest) Ready(now uint64) bool {
+	return r.Resolved && now >= r.ReadyAt
+}
+
+// Stall classifies what a core blocked on this request at cycle now is
+// waiting for.
+func (r *LineRequest) Stall(now uint64) backend.StallKind {
+	if !r.Granted {
+		return backend.StallBusQueue
+	}
+	if now < r.GrantAt+uint64(r.BusLatency+r.CacheLatency) || !r.Resolved {
+		if r.Shared {
+			return backend.StallBusLatency
+		}
+		return backend.StallCacheHit
+	}
+	return backend.StallCacheMiss
+}
+
+// ICachePort is a core's path to its instruction cache: private ports
+// resolve requests synchronously; shared ports enqueue them on the
+// I-interconnect for arbitration.
+type ICachePort interface {
+	// Request initiates a fetch of the 64 B line at lineAddr at cycle
+	// now. The returned request is updated in place as it progresses.
+	Request(now uint64, lineAddr uint64) *LineRequest
+}

@@ -1,0 +1,219 @@
+package interconnect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleRequesterNoContention(t *testing.T) {
+	b := NewBus(1, 2, 2)
+	b.Submit(10, Request{Requester: 0, Addr: 0x40})
+	g, ok := b.Tick(10)
+	if !ok {
+		t.Fatal("expected grant")
+	}
+	if g.WaitCycles != 0 {
+		t.Fatalf("WaitCycles = %d, want 0", g.WaitCycles)
+	}
+	if g.GrantCycle != 10 {
+		t.Fatalf("GrantCycle = %d, want 10", g.GrantCycle)
+	}
+	// Bus is now busy for 2 cycles.
+	if !b.Busy(10) || !b.Busy(11) || b.Busy(12) {
+		t.Fatal("occupancy window wrong")
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	const cores = 4
+	b := NewBus(cores, 2, 1)
+	// All cores submit at once, repeatedly; grants must rotate.
+	for c := 0; c < cores; c++ {
+		b.Submit(0, Request{Requester: c, Addr: uint64(c * 64)})
+	}
+	var order []int
+	for now := uint64(0); now < 10 && b.Pending() > 0; now++ {
+		if g, ok := b.Tick(now); ok {
+			order = append(order, g.Requester)
+		}
+	}
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("grants = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinResumesAfterWinner(t *testing.T) {
+	b := NewBus(3, 0, 1)
+	b.Submit(0, Request{Requester: 1})
+	if g, _ := b.Tick(0); g.Requester != 1 {
+		t.Fatal("expected requester 1")
+	}
+	// Now 0 and 1 submit; pointer should favour 2 then wrap to 0.
+	b.Submit(1, Request{Requester: 0})
+	b.Submit(1, Request{Requester: 1})
+	g, _ := b.Tick(1)
+	if g.Requester != 0 {
+		t.Fatalf("after serving 1, next grant = %d, want 0", g.Requester)
+	}
+}
+
+func TestContentionAccounting(t *testing.T) {
+	b := NewBus(2, 2, 2)
+	b.Submit(0, Request{Requester: 0, Addr: 0})
+	b.Submit(0, Request{Requester: 1, Addr: 64})
+	g0, ok := b.Tick(0)
+	if !ok || g0.WaitCycles != 0 {
+		t.Fatalf("first grant: %+v ok=%v", g0, ok)
+	}
+	// Bus busy cycles 0-1; second request granted at 2 with 2 wait.
+	if _, ok := b.Tick(1); ok {
+		t.Fatal("bus should be busy at cycle 1")
+	}
+	g1, ok := b.Tick(2)
+	if !ok || g1.Requester != 1 || g1.WaitCycles != 2 {
+		t.Fatalf("second grant: %+v ok=%v", g1, ok)
+	}
+	st := b.Stats()
+	if st.Granted != 2 || st.WaitCycles != 2 || st.BusyCycles != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AvgWait() != 1 {
+		t.Fatalf("AvgWait = %v, want 1", st.AvgWait())
+	}
+}
+
+func TestPerRequesterFIFO(t *testing.T) {
+	b := NewBus(1, 0, 1)
+	b.Submit(0, Request{Requester: 0, Token: 1})
+	b.Submit(0, Request{Requester: 0, Token: 2})
+	g1, _ := b.Tick(0)
+	g2, _ := b.Tick(1)
+	if g1.Token != 1 || g2.Token != 2 {
+		t.Fatalf("FIFO violated: %d then %d", g1.Token, g2.Token)
+	}
+}
+
+func TestFabricRouting(t *testing.T) {
+	f := NewFabric(2, 4, 2, 2, 64)
+	if f.Route(0) != 0 || f.Route(64) != 1 || f.Route(128) != 0 || f.Route(100) != 1 {
+		t.Fatalf("even/odd routing broken: %d %d %d %d",
+			f.Route(0), f.Route(64), f.Route(128), f.Route(100))
+	}
+	single := NewFabric(1, 4, 2, 2, 64)
+	if single.Route(64) != 0 {
+		t.Fatal("single fabric routes everything to 0")
+	}
+}
+
+func TestFabricParallelGrants(t *testing.T) {
+	f := NewFabric(2, 4, 2, 2, 64)
+	f.Submit(0, Request{Requester: 0, Addr: 0})  // even -> bus 0
+	f.Submit(0, Request{Requester: 1, Addr: 64}) // odd  -> bus 1
+	grants := f.Tick(0)
+	if len(grants) != 2 {
+		t.Fatalf("double bus should grant both in one cycle, got %d", len(grants))
+	}
+	if f.Pending() != 0 {
+		t.Fatal("no requests should remain")
+	}
+}
+
+func TestFabricSingleBusSerializes(t *testing.T) {
+	f := NewFabric(1, 4, 2, 2, 64)
+	f.Submit(0, Request{Requester: 0, Addr: 0})
+	f.Submit(0, Request{Requester: 1, Addr: 64})
+	if got := len(f.Tick(0)); got != 1 {
+		t.Fatalf("single bus granted %d in one cycle, want 1", got)
+	}
+	st := f.Stats()
+	if st.Granted != 1 || st.Submitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStatsUtilization(t *testing.T) {
+	s := Stats{BusyCycles: 50}
+	if got := s.Utilization(100); got != 0.5 {
+		t.Fatalf("Utilization = %v", got)
+	}
+	if got := s.Utilization(0); got != 0 {
+		t.Fatalf("Utilization(0) = %v", got)
+	}
+	if (Stats{}).AvgWait() != 0 {
+		t.Fatal("AvgWait with no grants should be 0")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBus(0, 2, 2) },
+		func() { NewBus(4, -1, 2) },
+		func() { NewBus(4, 2, 0) },
+		func() { NewFabric(0, 4, 2, 2, 64) },
+		func() { NewFabric(2, 4, 2, 2, 48) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Submit out of range should panic")
+			}
+		}()
+		b := NewBus(2, 2, 2)
+		b.Submit(0, Request{Requester: 5})
+	}()
+}
+
+// Property: conservation — every submitted request is eventually granted
+// exactly once, and total wait equals the sum of per-grant waits.
+func TestBusConservation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 1 + rng.Intn(8)
+		b := NewBus(cores, rng.Intn(4), 1+rng.Intn(3))
+		submitted := 0
+		granted := 0
+		var now uint64
+		for ; now < uint64(n)+1; now++ {
+			if rng.Intn(2) == 0 && submitted < int(n) {
+				b.Submit(now, Request{Requester: rng.Intn(cores), Addr: uint64(rng.Intn(1024) * 64)})
+				submitted++
+			}
+			if _, ok := b.Tick(now); ok {
+				granted++
+			}
+		}
+		// Drain.
+		for b.Pending() > 0 {
+			if _, ok := b.Tick(now); ok {
+				granted++
+			}
+			now++
+			if now > 1<<20 {
+				return false // livelock
+			}
+		}
+		st := b.Stats()
+		return granted == submitted &&
+			st.Granted == uint64(granted) && st.Submitted == uint64(submitted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package interconnect
+
+import "fmt"
+
+// Policy selects the bus arbitration discipline. The paper evaluates
+// round-robin (Table I) and notes in §VII that the arbitration policy
+// on a shared I-bus is the fetch policy of an SMT core in disguise;
+// the alternatives here support that ablation.
+type Policy int
+
+const (
+	// RoundRobin rotates priority one requester past the last grantee
+	// (the paper's configuration; starvation-free).
+	RoundRobin Policy = iota
+	// FixedPriority always grants the lowest-index requester with a
+	// pending request. Low-index cores see minimal latency; high-index
+	// cores can starve under load.
+	FixedPriority
+	// OldestFirst grants the request with the earliest submit cycle
+	// (global FCFS), breaking ties by requester index. Fairest on
+	// latency; costs a wider comparison in hardware.
+	OldestFirst
+)
+
+// String returns the policy mnemonic.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case FixedPriority:
+		return "fixed-priority"
+	case OldestFirst:
+		return "oldest-first"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is a known policy.
+func (p Policy) Valid() bool {
+	return p == RoundRobin || p == FixedPriority || p == OldestFirst
+}
+
+// pick returns the queue index to grant under policy p, or -1 when
+// nothing is pending. rr is the round-robin cursor.
+func pick(queues [][]Request, p Policy, rr int) int {
+	switch p {
+	case FixedPriority:
+		for i := range queues {
+			if len(queues[i]) > 0 {
+				return i
+			}
+		}
+		return -1
+	case OldestFirst:
+		best := -1
+		var bestCycle uint64
+		for i := range queues {
+			if len(queues[i]) == 0 {
+				continue
+			}
+			if best < 0 || queues[i][0].SubmitCycle < bestCycle {
+				best = i
+				bestCycle = queues[i][0].SubmitCycle
+			}
+		}
+		return best
+	default: // RoundRobin
+		n := len(queues)
+		for i := 0; i < n; i++ {
+			idx := (rr + i) % n
+			if len(queues[idx]) > 0 {
+				return idx
+			}
+		}
+		return -1
+	}
+}

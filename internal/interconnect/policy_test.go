@@ -1,0 +1,202 @@
+package interconnect
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[Policy]string{
+		RoundRobin:    "round-robin",
+		FixedPriority: "fixed-priority",
+		OldestFirst:   "oldest-first",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	if Policy(42).Valid() {
+		t.Fatal("unknown policy should be invalid")
+	}
+	if !strings.HasPrefix(Policy(42).String(), "Policy(") {
+		t.Fatal("unknown policy should format numerically")
+	}
+}
+
+func TestSetPolicyRejectsUnknown(t *testing.T) {
+	b := NewBus(2, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetPolicy with unknown policy should panic")
+		}
+	}()
+	b.SetPolicy(Policy(42))
+}
+
+func TestBusPolicyAccessors(t *testing.T) {
+	b := NewBus(4, 2, 2)
+	if b.Policy() != RoundRobin {
+		t.Fatal("default policy should be round-robin")
+	}
+	if b.Latency() != 2 {
+		t.Fatal("latency accessor wrong")
+	}
+	b.SetPolicy(OldestFirst)
+	if b.Policy() != OldestFirst {
+		t.Fatal("SetPolicy did not stick")
+	}
+	f := NewFabric(2, 4, 2, 2, 64)
+	if f.Buses() != 2 || f.Latency() != 2 {
+		t.Fatal("fabric accessors wrong")
+	}
+	f.SetPolicy(FixedPriority)
+	for _, addr := range []uint64{0, 64} {
+		f.Submit(0, Request{Requester: 1, Addr: addr})
+	}
+	grants := f.Tick(0)
+	if len(grants) != 2 {
+		t.Fatalf("both buses should grant, got %d", len(grants))
+	}
+}
+
+// drain submits one request per listed requester at the given cycles
+// and runs the bus until all grants are collected.
+func drain(t *testing.T, b *Bus, reqs []Request) []Grant {
+	t.Helper()
+	for _, r := range reqs {
+		b.Submit(r.SubmitCycle, r)
+	}
+	var grants []Grant
+	for now := uint64(0); len(grants) < len(reqs) && now < 1000; now++ {
+		if g, ok := b.Tick(now); ok {
+			grants = append(grants, g)
+		}
+	}
+	if len(grants) != len(reqs) {
+		t.Fatalf("granted %d of %d", len(grants), len(reqs))
+	}
+	return grants
+}
+
+func TestFixedPriorityOrdersByIndex(t *testing.T) {
+	b := NewBus(4, 2, 2)
+	b.SetPolicy(FixedPriority)
+	grants := drain(t, b, []Request{
+		{Requester: 3, Token: 3},
+		{Requester: 1, Token: 1},
+		{Requester: 2, Token: 2},
+		{Requester: 0, Token: 0},
+	})
+	for i, g := range grants {
+		if g.Token != uint64(i) {
+			t.Fatalf("grant %d went to token %d; fixed priority must order by index", i, g.Token)
+		}
+	}
+}
+
+func TestOldestFirstOrdersBySubmit(t *testing.T) {
+	b := NewBus(4, 2, 2)
+	b.SetPolicy(OldestFirst)
+	// All submitted before the first arbitration; submit cycles differ.
+	b.Submit(3, Request{Requester: 0, Token: 30})
+	b.Submit(1, Request{Requester: 2, Token: 10})
+	b.Submit(2, Request{Requester: 1, Token: 20})
+	var grants []Grant
+	for now := uint64(4); len(grants) < 3 && now < 100; now++ {
+		if g, ok := b.Tick(now); ok {
+			grants = append(grants, g)
+		}
+	}
+	want := []uint64{10, 20, 30}
+	for i, g := range grants {
+		if g.Token != want[i] {
+			t.Fatalf("grant %d = token %d, want %d (FCFS)", i, g.Token, want[i])
+		}
+	}
+}
+
+func TestRoundRobinIsStarvationFree(t *testing.T) {
+	// Requester 0 floods the bus; requester 3 submits one request. Under
+	// round-robin it must be granted within one rotation.
+	b := NewBus(4, 2, 1)
+	for i := 0; i < 50; i++ {
+		b.Submit(0, Request{Requester: 0, Token: 100 + uint64(i)})
+	}
+	b.Submit(0, Request{Requester: 3, Token: 7})
+	granted3At := -1
+	for now := 0; now < 20; now++ {
+		if g, ok := b.Tick(uint64(now)); ok && g.Token == 7 {
+			granted3At = now
+			break
+		}
+	}
+	if granted3At < 0 || granted3At > 4 {
+		t.Fatalf("round-robin granted the lone requester at cycle %d; want within one rotation", granted3At)
+	}
+}
+
+func TestFixedPriorityStarves(t *testing.T) {
+	// Same flood under fixed priority: the lone high-index request waits
+	// behind the entire flood.
+	b := NewBus(4, 2, 1)
+	b.SetPolicy(FixedPriority)
+	for i := 0; i < 50; i++ {
+		b.Submit(0, Request{Requester: 0, Token: 100 + uint64(i)})
+	}
+	b.Submit(0, Request{Requester: 3, Token: 7})
+	granted3At := -1
+	for now := 0; now < 200; now++ {
+		if g, ok := b.Tick(uint64(now)); ok && g.Token == 7 {
+			granted3At = now
+			break
+		}
+	}
+	if granted3At < 50 {
+		t.Fatalf("fixed priority granted the starved requester at cycle %d; want after the flood", granted3At)
+	}
+}
+
+// Property: under every policy, all submitted requests are eventually
+// granted exactly once, and per-requester FIFO order is preserved.
+func TestPolicyCompletenessProperty(t *testing.T) {
+	f := func(raw []uint8, policyRaw uint8) bool {
+		policy := Policy(int(policyRaw) % 3)
+		b := NewBus(4, 1, 2)
+		b.SetPolicy(policy)
+		n := len(raw)
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			b.Submit(uint64(i/4), Request{Requester: int(raw[i]) % 4, Token: uint64(i)})
+		}
+		seen := map[uint64]bool{}
+		lastPerReq := map[int]uint64{}
+		granted := 0
+		for now := uint64(16); granted < n && now < 10_000; now++ {
+			g, ok := b.Tick(now)
+			if !ok {
+				continue
+			}
+			if seen[g.Token] {
+				return false // double grant
+			}
+			seen[g.Token] = true
+			granted++
+			// FIFO within one requester: tokens ascend.
+			if last, ok := lastPerReq[g.Requester]; ok && g.Token < last {
+				return false
+			}
+			lastPerReq[g.Requester] = g.Token
+		}
+		return granted == n && b.Pending() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package memsys models the instruction-side memory hierarchy below the
+// I-caches: private L2 caches (Table I: 1 MB, 32-way, 20 cycles), the
+// shared L2–DRAM bus (32 B wide, 4 cycles + contention) and an off-chip
+// DDR3-1600 DRAM with bank/row timing.
+//
+// Only I-cache misses traverse this path (the paper folds data traffic
+// into measured per-section IPC), so the hierarchy is modelled as
+// stateful latency timelines: each resource tracks when it is next
+// free, and a fetch walks the resources computing its completion cycle.
+// For FIFO resources this is cycle-exact and far cheaper than ticking.
+package memsys
+
+import "fmt"
+
+import "sharedicache/internal/cachesim"
+
+// Config describes the memory system.
+type Config struct {
+	// Cores is the number of private L2 caches (one per core).
+	Cores int
+	// L2 geometry (Table I: 1 MB, 32-way, 64 B lines).
+	L2 cachesim.Config
+	// L2Latency is the L2 hit latency in core cycles (Table I: 20).
+	L2Latency int
+	// BusLatency is the L2-DRAM bus traversal latency (Table I: 4).
+	BusLatency int
+	// BusOccupancy is cycles per transfer (line/width = 64/32 = 2).
+	BusOccupancy int
+	// DRAM timing.
+	DRAM DRAMConfig
+}
+
+// DefaultConfig returns the Table I memory system for n cores.
+func DefaultConfig(n int) Config {
+	return Config{
+		Cores:        n,
+		L2:           cachesim.Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 32},
+		L2Latency:    20,
+		BusLatency:   4,
+		BusOccupancy: 2,
+		DRAM:         DefaultDRAMConfig(),
+	}
+}
+
+// DRAMConfig carries DDR3-1600 timing expressed in core cycles
+// (2 GHz core, DDR3-1600: CL=tRCD=tRP=11 memory cycles at 800 MHz
+// command clock = 13.75 ns ≈ 28 core cycles; 64 B burst = 4 command
+// cycles = 5 ns = 10 core cycles).
+type DRAMConfig struct {
+	Banks       int
+	RowBytes    int
+	TCASCycles  int // column access (row already open)
+	TRCDCycles  int // row activate
+	TRPCycles   int // precharge (row conflict)
+	BurstCycles int
+}
+
+// DefaultDRAMConfig matches Micron DDR3-1600 per Table I footnote 5.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Banks:       8,
+		RowBytes:    8 << 10,
+		TCASCycles:  28,
+		TRCDCycles:  28,
+		TRPCycles:   28,
+		BurstCycles: 10,
+	}
+}
+
+// Validate reports whether the DRAM geometry is usable.
+func (c DRAMConfig) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("memsys: bank count %d must be positive", c.Banks)
+	}
+	if c.RowBytes <= 0 {
+		return fmt.Errorf("memsys: row size %d must be positive", c.RowBytes)
+	}
+	if c.TCASCycles < 0 || c.TRCDCycles < 0 || c.TRPCycles < 0 || c.BurstCycles < 1 {
+		return fmt.Errorf("memsys: negative timing parameters")
+	}
+	return nil
+}
+
+type dramBank struct {
+	openRow int64 // -1 = closed
+	readyAt uint64
+}
+
+// DRAM is an open-page DDR3 model with per-bank row-buffer state.
+type DRAM struct {
+	cfg   DRAMConfig
+	banks []dramBank
+	stats DRAMStats
+}
+
+// DRAMStats counts DRAM access outcomes.
+type DRAMStats struct {
+	Accesses     uint64
+	RowHits      uint64
+	RowConflicts uint64
+}
+
+// NewDRAM builds a DRAM model; it panics on invalid configuration.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DRAM{cfg: cfg, banks: make([]dramBank, cfg.Banks)}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d
+}
+
+// Access performs a read of the line at addr arriving at the DRAM at
+// cycle now, and returns the cycle its data burst completes.
+func (d *DRAM) Access(now uint64, addr uint64) (done uint64) {
+	d.stats.Accesses++
+	rowGlobal := addr / uint64(d.cfg.RowBytes)
+	bank := &d.banks[rowGlobal%uint64(d.cfg.Banks)]
+	row := int64(rowGlobal / uint64(d.cfg.Banks))
+	start := now
+	if bank.readyAt > start {
+		start = bank.readyAt
+	}
+	var lat uint64
+	switch {
+	case bank.openRow == row:
+		d.stats.RowHits++
+		lat = uint64(d.cfg.TCASCycles)
+	case bank.openRow < 0:
+		lat = uint64(d.cfg.TRCDCycles + d.cfg.TCASCycles)
+	default:
+		d.stats.RowConflicts++
+		lat = uint64(d.cfg.TRPCycles + d.cfg.TRCDCycles + d.cfg.TCASCycles)
+	}
+	done = start + lat + uint64(d.cfg.BurstCycles)
+	bank.openRow = row
+	bank.readyAt = done
+	return done
+}
+
+// Stats returns a copy of the DRAM statistics.
+func (d *DRAM) Stats() DRAMStats { return d.stats }
+
+// Timeline is a single-server FIFO resource: Acquire returns when
+// service starts given an arrival at now, advancing the busy pointer.
+type Timeline struct {
+	busyUntil  uint64
+	occupancy  uint64
+	waitCycles uint64
+	grants     uint64
+}
+
+// NewTimeline returns a resource whose each use holds it busy for
+// occupancy cycles.
+func NewTimeline(occupancy int) *Timeline {
+	if occupancy < 1 {
+		panic("memsys: occupancy must be >= 1")
+	}
+	return &Timeline{occupancy: uint64(occupancy)}
+}
+
+// Acquire reserves the resource for an arrival at now and returns the
+// service start cycle.
+func (t *Timeline) Acquire(now uint64) uint64 {
+	start := now
+	if t.busyUntil > start {
+		start = t.busyUntil
+	}
+	t.busyUntil = start + t.occupancy
+	t.waitCycles += start - now
+	t.grants++
+	return start
+}
+
+// Wait returns total queueing cycles accumulated by Acquire.
+func (t *Timeline) Wait() uint64 { return t.waitCycles }
+
+// Grants returns how many acquisitions have occurred.
+func (t *Timeline) Grants() uint64 { return t.grants }
+
+// FetchResult describes one instruction-line fetch through the
+// hierarchy.
+type FetchResult struct {
+	// Done is the cycle the line is available at the L1 boundary.
+	Done uint64
+	// L2Hit reports whether the L2 satisfied the fetch.
+	L2Hit bool
+	// BusWait is the L2-DRAM bus queueing delay experienced.
+	BusWait uint64
+}
+
+// System is the below-L1 instruction memory hierarchy.
+type System struct {
+	cfg  Config
+	l2s  []*cachesim.Cache
+	bus  *Timeline
+	dram *DRAM
+}
+
+// New builds the memory system; it panics on invalid configuration.
+func New(cfg Config) *System {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("memsys: core count %d must be positive", cfg.Cores))
+	}
+	if cfg.L2Latency < 0 || cfg.BusLatency < 0 {
+		panic("memsys: negative latency")
+	}
+	s := &System{
+		cfg:  cfg,
+		l2s:  make([]*cachesim.Cache, cfg.Cores),
+		bus:  NewTimeline(cfg.BusOccupancy),
+		dram: NewDRAM(cfg.DRAM),
+	}
+	for i := range s.l2s {
+		s.l2s[i] = cachesim.New(cfg.L2)
+	}
+	return s
+}
+
+// FetchLine requests the instruction line at lineAddr for core at cycle
+// now (the cycle the L1 miss is known) and returns when it completes.
+func (s *System) FetchLine(now uint64, core int, lineAddr uint64) FetchResult {
+	l2 := s.l2s[core]
+	l2Done := now + uint64(s.cfg.L2Latency)
+	if l2.Access(lineAddr).Hit {
+		return FetchResult{Done: l2Done, L2Hit: true}
+	}
+	// L2 miss: cross the shared bus, access DRAM, return.
+	busStart := s.bus.Acquire(l2Done)
+	busWait := busStart - l2Done
+	dramArrive := busStart + uint64(s.cfg.BusLatency)
+	dramDone := s.dram.Access(dramArrive, lineAddr)
+	retStart := s.bus.Acquire(dramDone)
+	busWait += retStart - dramDone
+	done := retStart + uint64(s.cfg.BusLatency)
+	return FetchResult{Done: done, BusWait: busWait}
+}
+
+// Install warms core's L2 with the line at lineAddr without counting
+// an access (steady-state prewarm; see cachesim.Cache.Install).
+func (s *System) Install(core int, lineAddr uint64) {
+	s.l2s[core].Install(lineAddr)
+}
+
+// L2Stats returns per-core L2 statistics.
+func (s *System) L2Stats(core int) cachesim.Stats { return s.l2s[core].Stats() }
+
+// DRAMStats returns the DRAM statistics.
+func (s *System) DRAMStats() DRAMStats { return s.dram.Stats() }
+
+// BusWait returns the total L2-DRAM bus contention observed.
+func (s *System) BusWait() uint64 { return s.bus.Wait() }

@@ -1,0 +1,169 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sharedicache/internal/cachesim"
+)
+
+func testConfig() Config {
+	c := DefaultConfig(2)
+	// Small L2 so tests can force misses cheaply.
+	c.L2 = cachesim.Config{SizeBytes: 4 << 10, LineBytes: 64, Assoc: 4}
+	return c
+}
+
+func TestL2HitLatency(t *testing.T) {
+	s := New(testConfig())
+	first := s.FetchLine(100, 0, 0x1000)
+	if first.L2Hit {
+		t.Fatal("cold fetch should miss L2")
+	}
+	second := s.FetchLine(first.Done, 0, 0x1000)
+	if !second.L2Hit {
+		t.Fatal("warm fetch should hit L2")
+	}
+	if got := second.Done - first.Done; got != 20 {
+		t.Fatalf("L2 hit latency = %d, want 20", got)
+	}
+}
+
+func TestMissLatencyComposition(t *testing.T) {
+	cfg := testConfig()
+	s := New(cfg)
+	r := s.FetchLine(0, 0, 0x40)
+	// Uncontended cold miss: L2(20) + bus(4) + tRCD+tCAS+burst(28+28+10) + bus(4).
+	want := uint64(20 + 4 + 28 + 28 + 10 + 4)
+	if r.Done != want {
+		t.Fatalf("cold miss latency = %d, want %d", r.Done, want)
+	}
+	if r.BusWait != 0 {
+		t.Fatalf("uncontended fetch reported BusWait=%d", r.BusWait)
+	}
+}
+
+func TestDRAMRowHitFasterThanConflict(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	cfg := DefaultDRAMConfig()
+	// Two lines in the same row.
+	done1 := d.Access(0, 0)
+	done2 := d.Access(done1, 64)
+	rowHitLat := done2 - done1
+	if rowHitLat != uint64(cfg.TCASCycles+cfg.BurstCycles) {
+		t.Fatalf("row hit latency = %d", rowHitLat)
+	}
+	// Now a different row in the same bank: banks interleave by row
+	// chunk, so row r and row r+Banks share bank 0.
+	conflictAddr := uint64(cfg.RowBytes * cfg.Banks)
+	done3 := d.Access(done2, conflictAddr)
+	confLat := done3 - done2
+	if confLat != uint64(cfg.TRPCycles+cfg.TRCDCycles+cfg.TCASCycles+cfg.BurstCycles) {
+		t.Fatalf("row conflict latency = %d", confLat)
+	}
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowConflicts != 1 || st.Accesses != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDRAMBankBusy(t *testing.T) {
+	d := NewDRAM(DefaultDRAMConfig())
+	// Two back-to-back requests to the same bank: second waits.
+	d1 := d.Access(0, 0)
+	d2 := d.Access(0, 64) // same row, same bank, arrives at 0
+	if d2 <= d1 {
+		t.Fatalf("same-bank request should serialise: %d then %d", d1, d2)
+	}
+}
+
+func TestBusContentionAcrossCores(t *testing.T) {
+	cfg := testConfig()
+	s := New(cfg)
+	// Two cores miss simultaneously to different banks: they contend on
+	// the single L2-DRAM bus.
+	r0 := s.FetchLine(0, 0, 0x0)
+	r1 := s.FetchLine(0, 1, 1<<20) // different DRAM row/bank
+	if r0.BusWait == 0 && r1.BusWait == 0 {
+		t.Fatalf("expected bus contention, got %+v %+v", r0, r1)
+	}
+	if s.BusWait() == 0 {
+		t.Fatal("system-level bus wait not recorded")
+	}
+}
+
+func TestPrivateL2Isolation(t *testing.T) {
+	s := New(testConfig())
+	r := s.FetchLine(0, 0, 0x1000)
+	// Core 1 fetching the same line must still miss its own L2.
+	r1 := s.FetchLine(r.Done, 1, 0x1000)
+	if r1.L2Hit {
+		t.Fatal("private L2s must not share contents")
+	}
+	if s.L2Stats(0).Misses != 1 || s.L2Stats(1).Misses != 1 {
+		t.Fatalf("per-core L2 stats wrong: %+v %+v", s.L2Stats(0), s.L2Stats(1))
+	}
+}
+
+func TestTimelineFIFO(t *testing.T) {
+	tl := NewTimeline(2)
+	if got := tl.Acquire(10); got != 10 {
+		t.Fatalf("first acquire = %d", got)
+	}
+	if got := tl.Acquire(10); got != 12 {
+		t.Fatalf("second acquire = %d, want 12", got)
+	}
+	if got := tl.Acquire(20); got != 20 {
+		t.Fatalf("idle acquire = %d, want 20", got)
+	}
+	if tl.Wait() != 2 || tl.Grants() != 3 {
+		t.Fatalf("wait=%d grants=%d", tl.Wait(), tl.Grants())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() {
+			New(Config{Cores: 0, L2: cachesim.Config{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 32}, DRAM: DefaultDRAMConfig(), BusOccupancy: 2})
+		},
+		func() { NewDRAM(DRAMConfig{Banks: 0, RowBytes: 8192, BurstCycles: 1}) },
+		func() { NewDRAM(DRAMConfig{Banks: 8, RowBytes: 0, BurstCycles: 1}) },
+		func() { NewTimeline(0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: completion times are monotone non-decreasing per resource
+// chain — a fetch never completes before it starts, and DRAM responses
+// for the same bank never overlap.
+func TestFetchMonotone(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(testConfig())
+		now := uint64(0)
+		for i := 0; i < int(n); i++ {
+			now += uint64(rng.Intn(50))
+			core := rng.Intn(2)
+			addr := uint64(rng.Intn(1<<16)) &^ 63
+			r := s.FetchLine(now, core, addr)
+			minLat := uint64(20)
+			if r.Done < now+minLat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

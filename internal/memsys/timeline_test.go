@@ -1,0 +1,124 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimelineBackToBack(t *testing.T) {
+	tl := NewTimeline(2)
+	// Back-to-back arrivals serialise at the occupancy.
+	if got := tl.Acquire(0); got != 0 {
+		t.Fatalf("first acquire at %d", got)
+	}
+	if got := tl.Acquire(0); got != 2 {
+		t.Fatalf("second acquire at %d, want 2", got)
+	}
+	if got := tl.Acquire(10); got != 10 {
+		t.Fatalf("idle acquire at %d, want arrival time", got)
+	}
+	if tl.Grants() != 3 {
+		t.Fatalf("grants = %d", tl.Grants())
+	}
+	if tl.Wait() != 2 {
+		t.Fatalf("wait = %d, want 2", tl.Wait())
+	}
+}
+
+func TestTimelineOccupancyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero occupancy should panic")
+		}
+	}()
+	NewTimeline(0)
+}
+
+// Property: service start times are monotone for monotone arrivals and
+// never precede the arrival.
+func TestTimelineMonotoneProperty(t *testing.T) {
+	f := func(gaps []uint8, occRaw uint8) bool {
+		occ := int(occRaw)%8 + 1
+		tl := NewTimeline(occ)
+		now := uint64(0)
+		prevStart := uint64(0)
+		for _, g := range gaps {
+			now += uint64(g)
+			start := tl.Acquire(now)
+			if start < now || start < prevStart {
+				return false
+			}
+			prevStart = start
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMRowBufferBehaviour(t *testing.T) {
+	cfg := DefaultDRAMConfig()
+	d := NewDRAM(cfg)
+	// First access to a bank: closed row (activate + CAS + burst).
+	first := d.Access(0, 0)
+	wantFirst := uint64(cfg.TRCDCycles + cfg.TCASCycles + cfg.BurstCycles)
+	if first != wantFirst {
+		t.Fatalf("closed-row access done at %d, want %d", first, wantFirst)
+	}
+	// Same row, after the bank frees: row hit (CAS + burst only).
+	second := d.Access(first, 64)
+	if second-first != uint64(cfg.TCASCycles+cfg.BurstCycles) {
+		t.Fatalf("row hit latency %d", second-first)
+	}
+	// A different row in the same bank: precharge penalty.
+	conflictAddr := uint64(cfg.RowBytes * cfg.Banks) // same bank, next row
+	third := d.Access(second, conflictAddr)
+	if third-second != uint64(cfg.TRPCycles+cfg.TRCDCycles+cfg.TCASCycles+cfg.BurstCycles) {
+		t.Fatalf("row conflict latency %d", third-second)
+	}
+	st := d.Stats()
+	if st.Accesses != 3 || st.RowHits != 1 || st.RowConflicts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: DRAM completion times are monotone per bank and never
+// precede the request.
+func TestDRAMMonotoneProperty(t *testing.T) {
+	f := func(addrs []uint16, gaps []uint8) bool {
+		d := NewDRAM(DefaultDRAMConfig())
+		now := uint64(0)
+		for i, a := range addrs {
+			if i < len(gaps) {
+				now += uint64(gaps[i])
+			}
+			done := d.Access(now, uint64(a)*64)
+			if done <= now {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemInstallWarmsL2(t *testing.T) {
+	sys := New(DefaultConfig(2))
+	sys.Install(0, 0x4000)
+	// A fetch of the installed line is an L2 hit.
+	res := sys.FetchLine(0, 0, 0x4000)
+	if !res.L2Hit {
+		t.Fatal("installed line should hit in L2")
+	}
+	if res.Done != uint64(sys.cfg.L2Latency) {
+		t.Fatalf("L2 hit done at %d, want %d", res.Done, sys.cfg.L2Latency)
+	}
+	// The sibling core's L2 is untouched.
+	res = sys.FetchLine(0, 1, 0x4000)
+	if res.L2Hit {
+		t.Fatal("install must be per-core")
+	}
+}

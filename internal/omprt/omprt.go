@@ -1,0 +1,167 @@
+// Package omprt replays the OpenMP synchronisation recorded in the
+// traces (§V-A): parallel start/end, barriers, and critical-section
+// wait/signal. It reproduces the static schedule of the original run by
+// managing per-thread blocked/running state; the simulator charges
+// blocked cycles to the Sync CPI bucket.
+//
+// Thread 0 is the master. ParallelStart from the master opens an epoch
+// that releases every worker blocked on (or later reaching) its own
+// ParallelStart; ParallelEnd and Barrier are full-team barriers;
+// critical sections are FIFO mutexes.
+package omprt
+
+import "fmt"
+
+// Runtime tracks synchronisation state for one simulated application.
+type Runtime struct {
+	n int
+
+	epoch        int   // parallel regions opened by the master
+	consumed     []int // regions each worker has entered
+	blocked      []bool
+	waitingStart []bool
+
+	barrierArrived []bool
+	barrierCount   int
+
+	locks map[uint32]*lockState
+
+	stats Stats
+}
+
+type lockState struct {
+	held  bool
+	owner int
+	queue []int
+}
+
+// Stats counts synchronisation events.
+type Stats struct {
+	Regions   int
+	Barriers  int
+	Acquires  uint64
+	Contended uint64
+}
+
+// New builds a runtime for n threads (thread 0 is the master).
+func New(n int) *Runtime {
+	if n < 1 {
+		panic(fmt.Sprintf("omprt: thread count %d must be positive", n))
+	}
+	return &Runtime{
+		n:              n,
+		consumed:       make([]int, n),
+		blocked:        make([]bool, n),
+		waitingStart:   make([]bool, n),
+		barrierArrived: make([]bool, n),
+		locks:          map[uint32]*lockState{},
+	}
+}
+
+// Threads returns the team size.
+func (r *Runtime) Threads() int { return r.n }
+
+// Blocked reports whether thread t is currently blocked in the runtime.
+func (r *Runtime) Blocked(t int) bool { return r.blocked[t] }
+
+// Stats returns a copy of the event counters.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+func (r *Runtime) check(t int) {
+	if t < 0 || t >= r.n {
+		panic(fmt.Sprintf("omprt: thread %d out of range [0,%d)", t, r.n))
+	}
+}
+
+// ParallelStart processes a KindParallelStart record from thread t. For
+// the master it opens the region and wakes waiting workers; it always
+// returns true. For a worker it returns true if the region is already
+// open (the thread proceeds), otherwise the worker blocks until the
+// master opens it.
+func (r *Runtime) ParallelStart(t int) bool {
+	r.check(t)
+	if t == 0 {
+		r.epoch++
+		r.stats.Regions++
+		for w := 1; w < r.n; w++ {
+			if r.waitingStart[w] && r.consumed[w] < r.epoch {
+				r.consumed[w]++
+				r.waitingStart[w] = false
+				r.blocked[w] = false
+			}
+		}
+		return true
+	}
+	if r.consumed[t] < r.epoch {
+		r.consumed[t]++
+		return true
+	}
+	r.waitingStart[t] = true
+	r.blocked[t] = true
+	return false
+}
+
+// Arrive processes a barrier arrival (KindParallelEnd or KindBarrier)
+// from thread t. It returns true if the barrier released immediately
+// (t was the last arrival); otherwise t blocks until the team is
+// complete.
+func (r *Runtime) Arrive(t int) bool {
+	r.check(t)
+	if r.barrierArrived[t] {
+		panic(fmt.Sprintf("omprt: thread %d arrived twice at one barrier", t))
+	}
+	r.barrierArrived[t] = true
+	r.barrierCount++
+	if r.barrierCount < r.n {
+		r.blocked[t] = true
+		return false
+	}
+	// Last arrival: release everyone.
+	r.stats.Barriers++
+	r.barrierCount = 0
+	for i := range r.barrierArrived {
+		r.barrierArrived[i] = false
+		r.blocked[i] = false
+	}
+	return true
+}
+
+// Acquire processes KindCriticalWait on lock id from thread t. It
+// returns true if the lock was free (t now holds it); otherwise t
+// blocks in FIFO order.
+func (r *Runtime) Acquire(t int, id uint32) bool {
+	r.check(t)
+	l := r.locks[id]
+	if l == nil {
+		l = &lockState{}
+		r.locks[id] = l
+	}
+	r.stats.Acquires++
+	if !l.held {
+		l.held = true
+		l.owner = t
+		return true
+	}
+	r.stats.Contended++
+	l.queue = append(l.queue, t)
+	r.blocked[t] = true
+	return false
+}
+
+// Release processes KindCriticalSignal on lock id from thread t,
+// handing the lock to the next FIFO waiter if any.
+func (r *Runtime) Release(t int, id uint32) {
+	r.check(t)
+	l := r.locks[id]
+	if l == nil || !l.held || l.owner != t {
+		panic(fmt.Sprintf("omprt: thread %d releasing lock %d it does not hold", t, id))
+	}
+	if len(l.queue) == 0 {
+		l.held = false
+		return
+	}
+	next := l.queue[0]
+	l.queue = l.queue[1:]
+	l.owner = next
+	r.blocked[next] = false
+}

@@ -1,0 +1,187 @@
+package omprt
+
+import "testing"
+
+func TestParallelStartMasterFirst(t *testing.T) {
+	r := New(3)
+	if !r.ParallelStart(0) {
+		t.Fatal("master must always proceed")
+	}
+	// Workers arriving after the master proceed immediately.
+	if !r.ParallelStart(1) || !r.ParallelStart(2) {
+		t.Fatal("workers should enter an open region")
+	}
+	if r.Blocked(1) || r.Blocked(2) {
+		t.Fatal("no one should be blocked")
+	}
+}
+
+func TestParallelStartWorkerFirst(t *testing.T) {
+	r := New(3)
+	if r.ParallelStart(1) {
+		t.Fatal("worker must block before the region opens")
+	}
+	if !r.Blocked(1) {
+		t.Fatal("worker should be blocked")
+	}
+	r.ParallelStart(0)
+	if r.Blocked(1) {
+		t.Fatal("master's start should release the waiting worker")
+	}
+	// Worker 2 arrives later; the region is open.
+	if !r.ParallelStart(2) {
+		t.Fatal("late worker should enter the open region")
+	}
+}
+
+func TestEpochNotDoubleConsumed(t *testing.T) {
+	r := New(2)
+	r.ParallelStart(0)
+	if !r.ParallelStart(1) {
+		t.Fatal("worker enters region 1")
+	}
+	// Worker reaches its next ParallelStart before the master reopens.
+	if r.ParallelStart(1) {
+		t.Fatal("worker must block until region 2 opens")
+	}
+	r.ParallelStart(0)
+	if r.Blocked(1) {
+		t.Fatal("worker should be released for region 2")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	r := New(3)
+	if r.Arrive(0) {
+		t.Fatal("first arrival must wait")
+	}
+	if r.Arrive(1) {
+		t.Fatal("second arrival must wait")
+	}
+	if !r.Blocked(0) || !r.Blocked(1) {
+		t.Fatal("early arrivals should be blocked")
+	}
+	if !r.Arrive(2) {
+		t.Fatal("last arrival releases the barrier")
+	}
+	for i := 0; i < 3; i++ {
+		if r.Blocked(i) {
+			t.Fatalf("thread %d still blocked after release", i)
+		}
+	}
+	if r.Stats().Barriers != 1 {
+		t.Fatalf("barriers = %d", r.Stats().Barriers)
+	}
+	// Barrier is reusable.
+	if r.Arrive(1) {
+		t.Fatal("new barrier generation should wait again")
+	}
+}
+
+func TestBarrierDoubleArrivalPanics(t *testing.T) {
+	r := New(2)
+	r.Arrive(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double arrival should panic")
+		}
+	}()
+	r.Arrive(0)
+}
+
+func TestCriticalSectionFIFO(t *testing.T) {
+	r := New(4)
+	if !r.Acquire(1, 7) {
+		t.Fatal("free lock should be acquired")
+	}
+	if r.Acquire(2, 7) || r.Acquire(3, 7) {
+		t.Fatal("held lock should block")
+	}
+	r.Release(1, 7)
+	if r.Blocked(2) {
+		t.Fatal("FIFO head should now own the lock")
+	}
+	if !r.Blocked(3) {
+		t.Fatal("second waiter still queued")
+	}
+	r.Release(2, 7)
+	if r.Blocked(3) {
+		t.Fatal("final waiter should own the lock")
+	}
+	r.Release(3, 7)
+	if !r.Acquire(1, 7) {
+		t.Fatal("lock should be free again")
+	}
+	st := r.Stats()
+	if st.Acquires != 4 || st.Contended != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDistinctLocksIndependent(t *testing.T) {
+	r := New(2)
+	if !r.Acquire(0, 1) || !r.Acquire(1, 2) {
+		t.Fatal("distinct locks should not contend")
+	}
+}
+
+func TestReleaseWithoutHoldPanics(t *testing.T) {
+	r := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad release should panic")
+		}
+	}()
+	r.Release(0, 5)
+}
+
+func TestBoundsChecking(t *testing.T) {
+	r := New(2)
+	for _, fn := range []func(){
+		func() { r.ParallelStart(5) },
+		func() { r.Arrive(-1) },
+		func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFullPhaseCycle(t *testing.T) {
+	// Simulate 2 phases with 1 master + 2 workers arriving in mixed
+	// orders; nobody deadlocks and everybody ends unblocked.
+	r := New(3)
+	for phase := 0; phase < 2; phase++ {
+		if phase == 0 {
+			r.ParallelStart(1) // worker early
+			r.ParallelStart(0)
+			r.ParallelStart(2) // worker late
+		} else {
+			r.ParallelStart(0)
+			r.ParallelStart(2)
+			r.ParallelStart(1)
+		}
+		for i := 0; i < 3; i++ {
+			if r.Blocked(i) {
+				t.Fatalf("phase %d: thread %d blocked at region start", phase, i)
+			}
+		}
+		r.Arrive(2)
+		r.Arrive(0)
+		r.Arrive(1)
+		for i := 0; i < 3; i++ {
+			if r.Blocked(i) {
+				t.Fatalf("phase %d: thread %d blocked after join", phase, i)
+			}
+		}
+	}
+	if r.Stats().Regions != 2 {
+		t.Fatalf("regions = %d", r.Stats().Regions)
+	}
+}

@@ -1,0 +1,132 @@
+package omprt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// scriptEvent is one synchronisation action a simulated thread takes.
+type scriptEvent struct {
+	kind byte // 's' start, 'e' end, 'b' barrier, 'a' acquire, 'r' release
+	lock uint32
+}
+
+// buildScripts produces per-thread event scripts for R parallel
+// regions, each with an optional mid-region barrier and critical
+// section, mirroring what synth traces contain.
+func buildScripts(n, regions int, withBarrier, withCritical bool) [][]scriptEvent {
+	scripts := make([][]scriptEvent, n)
+	for t := 0; t < n; t++ {
+		for r := 0; r < regions; r++ {
+			scripts[t] = append(scripts[t], scriptEvent{kind: 's'})
+			if withCritical {
+				scripts[t] = append(scripts[t],
+					scriptEvent{kind: 'a', lock: uint32(r % 2)},
+					scriptEvent{kind: 'r', lock: uint32(r % 2)})
+			}
+			if withBarrier {
+				scripts[t] = append(scripts[t], scriptEvent{kind: 'b'})
+			}
+			scripts[t] = append(scripts[t], scriptEvent{kind: 'e'})
+		}
+	}
+	return scripts
+}
+
+// runSchedule drives the runtime with a deterministic pseudo-random
+// interleaving derived from seed. It returns true if every thread
+// finishes its script within the step bound.
+func runSchedule(n, regions int, withBarrier, withCritical bool, seed uint64) bool {
+	rt := New(n)
+	scripts := buildScripts(n, regions, withBarrier, withCritical)
+	pos := make([]int, n)
+	done := 0
+	total := 0
+	for _, s := range scripts {
+		total += len(s)
+	}
+	// waiting marks workers that already issued ParallelStart and were
+	// blocked: the master's region open consumes their event, so they
+	// must not call again once released.
+	waiting := make([]bool, n)
+	state := seed | 1
+	for steps := 0; steps < total*50+1000; steps++ {
+		if done == total {
+			return true
+		}
+		// Pseudo-random pick among unblocked, unfinished threads.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		start := int(state % uint64(n))
+		t := -1
+		for i := 0; i < n; i++ {
+			cand := (start + i) % n
+			if pos[cand] < len(scripts[cand]) && !rt.Blocked(cand) {
+				t = cand
+				break
+			}
+		}
+		if t < 0 {
+			return false // everyone blocked: deadlock
+		}
+		if waiting[t] {
+			// Released from a blocked ParallelStart: the event was
+			// consumed by the master's open.
+			waiting[t] = false
+			pos[t]++
+			done++
+			continue
+		}
+		ev := scripts[t][pos[t]]
+		switch ev.kind {
+		case 's':
+			if rt.ParallelStart(t) {
+				pos[t]++
+				done++
+			} else if t == 0 {
+				return false // master never blocks on start
+			} else {
+				waiting[t] = true
+			}
+		case 'e', 'b':
+			rt.Arrive(t)
+			pos[t]++
+			done++
+		case 'a':
+			rt.Acquire(t, ev.lock)
+			pos[t]++
+			done++
+		case 'r':
+			rt.Release(t, ev.lock)
+			pos[t]++
+			done++
+		}
+	}
+	return done == total
+}
+
+func TestScheduleStressBarriers(t *testing.T) {
+	if !runSchedule(9, 4, true, false, 42) {
+		t.Fatal("barrier schedule deadlocked")
+	}
+}
+
+func TestScheduleStressCriticals(t *testing.T) {
+	if !runSchedule(9, 4, false, true, 7) {
+		t.Fatal("critical-section schedule deadlocked")
+	}
+}
+
+// Property: any thread count, region count and interleaving seed
+// completes without deadlock.
+func TestScheduleStressProperty(t *testing.T) {
+	f := func(nRaw, rRaw uint8, barrier, critical bool, seed uint64) bool {
+		n := int(nRaw)%8 + 2
+		regions := int(rRaw)%5 + 1
+		return runSchedule(n, regions, barrier, critical, seed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package power
+
+import (
+	"fmt"
+
+	"sharedicache/internal/cachesim"
+)
+
+// Cluster describes the worker-core cluster whose area and energy are
+// being compared (the master core, LLC and NoC are excluded, as in the
+// paper's §VI-D).
+type Cluster struct {
+	// Workers is the number of lean cores.
+	Workers int
+	// Caches is the number of worker I-caches (Workers for private,
+	// Workers/cpc for shared organisations).
+	Caches int
+	// Cache is the geometry of each I-cache.
+	Cache cachesim.Config
+	// BusesPerCache is 0 for private I-caches (no shared interconnect),
+	// 1 or 2 for shared ones.
+	BusesPerCache int
+	// BusWidthBytes is the data width of each bus.
+	BusWidthBytes int
+	// LineBuffersPerCore is the per-core prefetch buffer count.
+	LineBuffersPerCore int
+	// SharedCacheOverhead adds arbitration/MSHR/port logic to each
+	// shared cache as a fraction of the cache's own area.
+	SharedCacheOverhead float64
+}
+
+// Validate reports configuration errors.
+func (c Cluster) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("power: Workers = %d must be positive", c.Workers)
+	}
+	if c.Caches < 1 || c.Caches > c.Workers {
+		return fmt.Errorf("power: Caches = %d outside [1,%d]", c.Caches, c.Workers)
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return fmt.Errorf("power: cache: %w", err)
+	}
+	if c.BusesPerCache < 0 || c.BusWidthBytes < 0 {
+		return fmt.Errorf("power: negative bus parameters")
+	}
+	if c.BusesPerCache > 0 && c.BusWidthBytes == 0 {
+		return fmt.Errorf("power: buses configured with zero width")
+	}
+	if c.LineBuffersPerCore < 0 {
+		return fmt.Errorf("power: negative line buffer count")
+	}
+	if c.SharedCacheOverhead < 0 {
+		return fmt.Errorf("power: negative shared-cache overhead")
+	}
+	return nil
+}
+
+// coresPerCache returns how many cores attach to one cache.
+func (c Cluster) coresPerCache() int { return c.Workers / c.Caches }
+
+// AreaBreakdown itemises cluster area in mm^2.
+type AreaBreakdown struct {
+	CoresMM2       float64
+	CachesMM2      float64
+	BusesMM2       float64
+	LineBuffersMM2 float64
+}
+
+// TotalMM2 sums the components.
+func (a AreaBreakdown) TotalMM2() float64 {
+	return a.CoresMM2 + a.CachesMM2 + a.BusesMM2 + a.LineBuffersMM2
+}
+
+// ClusterArea computes the cluster's area breakdown.
+func (t Tech) ClusterArea(c Cluster) (AreaBreakdown, error) {
+	if err := t.Validate(); err != nil {
+		return AreaBreakdown{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return AreaBreakdown{}, err
+	}
+	var a AreaBreakdown
+	a.CoresMM2 = float64(c.Workers) * t.LeanCoreAreaMM2()
+	cache := t.CacheAreaMM2(c.Cache) * (1 + c.SharedCacheOverhead)
+	a.CachesMM2 = float64(c.Caches) * cache
+	if c.BusesPerCache > 0 {
+		perBus := t.BusAreaMM2(c.coresPerCache(), c.BusWidthBytes)
+		a.BusesMM2 = float64(c.Caches*c.BusesPerCache) * perBus
+	}
+	a.LineBuffersMM2 = float64(c.Workers) *
+		t.LineBufferAreaMM2(c.LineBuffersPerCore, c.Cache.LineBytes)
+	return a, nil
+}
+
+// Activity carries the simulation counts the energy model integrates,
+// summed over the worker cores.
+type Activity struct {
+	// Cycles is the run length.
+	Cycles uint64
+	// Instructions committed by worker cores.
+	Instructions uint64
+	// CacheAccesses is the number of line reads served by worker
+	// I-caches (shared or private).
+	CacheAccesses uint64
+	// BusTransactions is the number of line transfers over shared
+	// I-buses (0 for the private baseline).
+	BusTransactions uint64
+	// LineBufferHits is the number of fetches satisfied by line
+	// buffers without a cache access.
+	LineBufferHits uint64
+}
+
+// EnergyBreakdown itemises cluster energy in joules.
+type EnergyBreakdown struct {
+	StaticJ     float64
+	CoreDynJ    float64
+	CacheDynJ   float64
+	BusDynJ     float64
+	LineBufDynJ float64
+}
+
+// TotalJ sums the components.
+func (e EnergyBreakdown) TotalJ() float64 {
+	return e.StaticJ + e.CoreDynJ + e.CacheDynJ + e.BusDynJ + e.LineBufDynJ
+}
+
+// ClusterEnergy integrates the cluster's energy over a run: leakage
+// proportional to area and time, plus per-event dynamic energies.
+func (t Tech) ClusterEnergy(c Cluster, act Activity) (EnergyBreakdown, error) {
+	area, err := t.ClusterArea(c)
+	if err != nil {
+		return EnergyBreakdown{}, err
+	}
+	seconds := float64(act.Cycles) / t.ClockHz
+	var e EnergyBreakdown
+	e.StaticJ = area.TotalMM2() * t.StaticWPerMM2 * seconds
+	e.CoreDynJ = float64(act.Instructions) * t.CoreEnergyPJ * 1e-12
+	e.CacheDynJ = float64(act.CacheAccesses) * t.CacheAccessPJ(c.Cache) * 1e-12
+	if c.BusesPerCache > 0 {
+		perBus := t.BusAreaMM2(c.coresPerCache(), c.BusWidthBytes)
+		e.BusDynJ = float64(act.BusTransactions) * t.BusTransactionPJ * perBus * 1e-12
+	}
+	e.LineBufDynJ = float64(act.LineBufferHits) * t.LineBufferPJ * 1e-12
+	return e, nil
+}
+
+// Report couples the three Fig 12 metrics for one design point.
+type Report struct {
+	Cycles uint64
+	Area   AreaBreakdown
+	Energy EnergyBreakdown
+}
+
+// Evaluate computes area and energy for one design point in one call.
+func (t Tech) Evaluate(c Cluster, act Activity) (Report, error) {
+	area, err := t.ClusterArea(c)
+	if err != nil {
+		return Report{}, err
+	}
+	energy, err := t.ClusterEnergy(c, act)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Cycles: act.Cycles, Area: area, Energy: energy}, nil
+}
+
+// Relative expresses r against a baseline as the normalised
+// (time, energy, area) triple Fig 12 plots.
+func (r Report) Relative(base Report) (timeRatio, energyRatio, areaRatio float64) {
+	timeRatio = float64(r.Cycles) / float64(base.Cycles)
+	energyRatio = r.Energy.TotalJ() / base.Energy.TotalJ()
+	areaRatio = r.Area.TotalMM2() / base.Area.TotalMM2()
+	return
+}

@@ -1,0 +1,160 @@
+// Package power estimates the area and energy of the worker-core
+// cluster, reproducing the paper's §VI-D methodology: McPAT-style
+// analytic models for lean cores and caches (CACTI-like SRAM scaling),
+// and the paper's own wire-count model for the shared I-bus.
+//
+// Calibration anchors, taken from the paper itself:
+//
+//   - a 32 KB I-cache is ~15% of a lean (Cortex-A9 class) core's area
+//     and power (§II-C, McPAT);
+//   - a double I-bus costs ~45% of the area of a 16 KB I-cache (§VI-D);
+//   - bus area = wires x pitch x length, with a 205 nm wire pitch at
+//     45 nm and length = number of cores x bundle width, which makes
+//     bus area quadratic in its width (§VI-D);
+//   - bus power is proportional to bus area, with the dynamic share
+//     scaling with the number of transactions (§VI-D).
+//
+// Absolute numbers are deliberately stated per unit so they can be
+// re-derived; what the experiments consume are ratios against the
+// private-I-cache baseline, which is how Fig 12 reports them.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"sharedicache/internal/cachesim"
+)
+
+// Tech bundles the technology coefficients. The zero value is unusable;
+// start from Default45nm.
+type Tech struct {
+	// SRAMBitArea is the effective area per SRAM bit including array
+	// overhead (decoders, sense amplifiers, tag logic wiring), in um^2.
+	// Calibrated so a double 8-core I-bus is ~45% of a 16 KB I-cache.
+	SRAMBitArea float64
+	// WirePitchUM is the interconnect wire pitch in um (205 nm at 45 nm
+	// per the paper's reference).
+	WirePitchUM float64
+	// ControlWires is the address/command wire count added to the data
+	// wires of a bus.
+	ControlWires int
+
+	// LeanCoreICacheShare is the fraction of a lean core's area and
+	// static power spent on a 32 KB I-cache (the McPAT A9 anchor).
+	LeanCoreICacheShare float64
+
+	// StaticWPerMM2 is leakage power density in W/mm^2.
+	StaticWPerMM2 float64
+
+	// CoreEnergyPJ is dynamic energy per committed instruction in the
+	// lean core back-end and non-I-cache front-end, in pJ.
+	CoreEnergyPJ float64
+	// CacheAccessBasePJ is the dynamic energy of reading one line from
+	// a 32 KB, 8-way cache, in pJ; other geometries scale as
+	// sqrt(capacity) and linearly in associativity relative to 8.
+	CacheAccessBasePJ float64
+	// LineBufferPJ is the energy of one line-buffer (micro-cache) hit.
+	LineBufferPJ float64
+	// BusDynamicShare is the fraction of bus power that is dynamic at
+	// the calibration activity (McPAT NoC dynamic-to-total ratio).
+	BusDynamicShare float64
+	// BusTransactionPJ is the per-line-transfer bus energy per mm^2 of
+	// bus area (power proportional to area).
+	BusTransactionPJ float64
+
+	// ClockHz converts cycles to seconds for energy integration.
+	ClockHz float64
+}
+
+// Default45nm returns coefficients for a 45 nm lean-core cluster
+// calibrated to the paper's anchors.
+func Default45nm() Tech {
+	return Tech{
+		SRAMBitArea:         1.0,   // um^2/bit, includes array overhead
+		WirePitchUM:         0.205, // 205 nm
+		ControlWires:        48,
+		LeanCoreICacheShare: 0.15,
+		StaticWPerMM2:       0.10,
+		CoreEnergyPJ:        100,
+		CacheAccessBasePJ:   20,
+		LineBufferPJ:        1.2,
+		BusDynamicShare:     0.6,
+		BusTransactionPJ:    160, // pJ per transaction per mm^2 of bus
+		ClockHz:             2e9,
+	}
+}
+
+// Validate reports nonsensical coefficients.
+func (t Tech) Validate() error {
+	if t.SRAMBitArea <= 0 || t.WirePitchUM <= 0 || t.ClockHz <= 0 {
+		return fmt.Errorf("power: non-positive geometry/clock coefficients")
+	}
+	if t.LeanCoreICacheShare <= 0 || t.LeanCoreICacheShare >= 1 {
+		return fmt.Errorf("power: I-cache share %v outside (0,1)", t.LeanCoreICacheShare)
+	}
+	if t.StaticWPerMM2 < 0 || t.CoreEnergyPJ < 0 || t.CacheAccessBasePJ < 0 ||
+		t.LineBufferPJ < 0 || t.BusTransactionPJ < 0 {
+		return fmt.Errorf("power: negative energy coefficients")
+	}
+	if t.BusDynamicShare < 0 || t.BusDynamicShare > 1 {
+		return fmt.Errorf("power: bus dynamic share %v outside [0,1]", t.BusDynamicShare)
+	}
+	if t.ControlWires < 0 {
+		return fmt.Errorf("power: negative control wire count")
+	}
+	return nil
+}
+
+// CacheAreaMM2 returns the area of one cache instance in mm^2: data
+// bits plus tag bits at the effective SRAM bit area, with a small
+// per-bank overhead for duplicated peripheral logic.
+func (t Tech) CacheAreaMM2(c cachesim.Config) float64 {
+	dataBits := float64(c.SizeBytes) * 8
+	lines := float64(c.SizeBytes / c.LineBytes)
+	// Tags: ~(40 - log2(sets) - log2(line)) bits, plus valid/LRU state.
+	tagBits := lines * (40 - math.Log2(float64(c.Sets())) - math.Log2(float64(c.LineBytes)) + 4)
+	banks := c.Banks
+	if banks < 1 {
+		banks = 1
+	}
+	bankOverhead := 1 + 0.03*float64(banks-1)
+	return (dataBits + tagBits) * t.SRAMBitArea * bankOverhead / 1e6
+}
+
+// CacheAccessPJ returns the dynamic energy of one line read in pJ,
+// scaled from the 32 KB 8-way calibration point: sqrt in capacity
+// (bitline/wordline length) and linear in associativity (ways probed
+// in parallel).
+func (t Tech) CacheAccessPJ(c cachesim.Config) float64 {
+	capScale := math.Sqrt(float64(c.SizeBytes) / float64(32<<10))
+	assocScale := float64(c.Assoc) / 8
+	return t.CacheAccessBasePJ * capScale * assocScale
+}
+
+// LeanCoreAreaMM2 returns the area of one lean core excluding its
+// I-cache, derived from the anchor that a 32 KB 8-way I-cache is
+// LeanCoreICacheShare of the whole core.
+func (t Tech) LeanCoreAreaMM2() float64 {
+	ref := t.CacheAreaMM2(cachesim.Config{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8})
+	total := ref / t.LeanCoreICacheShare
+	return total - ref
+}
+
+// BusAreaMM2 returns the area of one shared I-bus connecting `cores`
+// agents with a widthBytes data path: wires x pitch gives the bundle
+// width, bundle width x (cores x bundle width) gives the area — the
+// paper's quadratic-in-width model.
+func (t Tech) BusAreaMM2(cores, widthBytes int) float64 {
+	wires := float64(widthBytes*8 + t.ControlWires)
+	bundleUM := wires * t.WirePitchUM
+	lengthUM := float64(cores) * bundleUM
+	return bundleUM * lengthUM / 1e6
+}
+
+// LineBufferAreaMM2 returns the area of one core's line-buffer file
+// (buffers x lineBytes of SRAM plus CAM tag overhead).
+func (t Tech) LineBufferAreaMM2(buffers, lineBytes int) float64 {
+	bits := float64(buffers*lineBytes*8) * 1.25 // +25% for CAM tags/control
+	return bits * t.SRAMBitArea / 1e6
+}

@@ -1,0 +1,307 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sharedicache/internal/cachesim"
+)
+
+func icache(kb int) cachesim.Config {
+	return cachesim.Config{SizeBytes: kb << 10, LineBytes: 64, Assoc: 8}
+}
+
+func TestTechValidate(t *testing.T) {
+	if err := Default45nm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Tech){
+		func(x *Tech) { x.SRAMBitArea = 0 },
+		func(x *Tech) { x.WirePitchUM = -1 },
+		func(x *Tech) { x.LeanCoreICacheShare = 0 },
+		func(x *Tech) { x.LeanCoreICacheShare = 1 },
+		func(x *Tech) { x.StaticWPerMM2 = -1 },
+		func(x *Tech) { x.BusDynamicShare = 2 },
+		func(x *Tech) { x.ControlWires = -1 },
+		func(x *Tech) { x.ClockHz = 0 },
+	}
+	for i, mutate := range bad {
+		tech := Default45nm()
+		mutate(&tech)
+		if tech.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCacheAreaScales(t *testing.T) {
+	tech := Default45nm()
+	a16 := tech.CacheAreaMM2(icache(16))
+	a32 := tech.CacheAreaMM2(icache(32))
+	if a32 <= a16 {
+		t.Fatal("32 KB cache should be larger than 16 KB")
+	}
+	// Area is dominated by data bits, so 32 KB should be close to 2x.
+	if r := a32 / a16; r < 1.8 || r > 2.2 {
+		t.Fatalf("32KB/16KB area ratio %v, want ~2", r)
+	}
+	// Banking costs a little area.
+	banked := icache(16)
+	banked.Banks = 2
+	if tech.CacheAreaMM2(banked) <= a16 {
+		t.Fatal("banked cache should cost more area")
+	}
+}
+
+func TestPaperAnchorBusVsCache(t *testing.T) {
+	// §VI-D: "the area budget of a double I-bus is around 45% of a 16KB
+	// I-cache". Accept 35-55%.
+	tech := Default45nm()
+	doubleBus := 2 * tech.BusAreaMM2(8, 32)
+	cache16 := tech.CacheAreaMM2(icache(16))
+	ratio := doubleBus / cache16
+	if ratio < 0.35 || ratio > 0.55 {
+		t.Fatalf("double-bus/16KB-cache area ratio = %.3f, paper says ~0.45", ratio)
+	}
+}
+
+func TestPaperAnchorICacheShare(t *testing.T) {
+	// §II-C: 32 KB I-cache is ~15% of a lean core's area.
+	tech := Default45nm()
+	cache := tech.CacheAreaMM2(icache(32))
+	core := tech.LeanCoreAreaMM2()
+	share := cache / (cache + core)
+	if math.Abs(share-tech.LeanCoreICacheShare) > 1e-9 {
+		t.Fatalf("I-cache share = %v, want %v", share, tech.LeanCoreICacheShare)
+	}
+}
+
+func TestBusAreaQuadraticInWidth(t *testing.T) {
+	// The paper: bus area depends quadratically on line width.
+	tech := Default45nm()
+	a32 := tech.BusAreaMM2(8, 32)
+	a64 := tech.BusAreaMM2(8, 64)
+	r := a64 / a32
+	// Control wires damp the exact 4x, but it must be clearly
+	// super-linear.
+	if r < 3.0 || r > 4.5 {
+		t.Fatalf("width doubling scaled bus area by %v, want ~4 (quadratic)", r)
+	}
+	// Linear in core count.
+	if got := tech.BusAreaMM2(16, 32) / a32; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("core doubling scaled bus area by %v, want 2", got)
+	}
+}
+
+func TestCacheAccessEnergyScaling(t *testing.T) {
+	tech := Default45nm()
+	e32 := tech.CacheAccessPJ(icache(32))
+	e16 := tech.CacheAccessPJ(icache(16))
+	if e32 != tech.CacheAccessBasePJ {
+		t.Fatalf("32KB 8-way is the calibration point, got %v", e32)
+	}
+	if r := e16 / e32; math.Abs(r-1/math.Sqrt2) > 1e-9 {
+		t.Fatalf("16KB/32KB energy ratio %v, want 1/sqrt(2)", r)
+	}
+	lowAssoc := icache(32)
+	lowAssoc.Assoc = 4
+	if tech.CacheAccessPJ(lowAssoc) >= e32 {
+		t.Fatal("fewer ways should cost less access energy")
+	}
+}
+
+func privateCluster() Cluster {
+	return Cluster{
+		Workers: 8, Caches: 8, Cache: icache(32),
+		LineBuffersPerCore: 4,
+	}
+}
+
+func sharedCluster(buses int) Cluster {
+	return Cluster{
+		Workers: 8, Caches: 1, Cache: icache(16),
+		BusesPerCache: buses, BusWidthBytes: 32,
+		LineBuffersPerCore: 4, SharedCacheOverhead: 0.25,
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	if err := privateCluster().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Cluster){
+		func(c *Cluster) { c.Workers = 0 },
+		func(c *Cluster) { c.Caches = 0 },
+		func(c *Cluster) { c.Caches = 9 },
+		func(c *Cluster) { c.Cache.SizeBytes = 100 },
+		func(c *Cluster) { c.BusesPerCache = -1 },
+		func(c *Cluster) { c.BusesPerCache = 1; c.BusWidthBytes = 0 },
+		func(c *Cluster) { c.LineBuffersPerCore = -1 },
+		func(c *Cluster) { c.SharedCacheOverhead = -0.5 },
+	}
+	for i, mutate := range bad {
+		c := privateCluster()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestFig12AreaSavingsShape(t *testing.T) {
+	// The headline: sharing a 16 KB I-cache among 8 workers behind a
+	// double bus saves ~11% cluster area. Accept 6-18%.
+	tech := Default45nm()
+	base, err := tech.ClusterArea(privateCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := tech.ClusterArea(sharedCluster(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := shared.TotalMM2() / base.TotalMM2()
+	if ratio >= 1 {
+		t.Fatalf("sharing must save area, ratio = %v", ratio)
+	}
+	saving := 1 - ratio
+	if saving < 0.06 || saving > 0.18 {
+		t.Fatalf("area saving = %.3f, paper says ~0.11", saving)
+	}
+	// Single bus saves even more area.
+	single, err := tech.ClusterArea(sharedCluster(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.TotalMM2() >= shared.TotalMM2() {
+		t.Fatal("single bus must be smaller than double bus")
+	}
+}
+
+func TestClusterEnergyComponents(t *testing.T) {
+	tech := Default45nm()
+	act := Activity{
+		Cycles: 1_000_000, Instructions: 8_000_000,
+		CacheAccesses: 500_000, BusTransactions: 500_000, LineBufferHits: 1_500_000,
+	}
+	e, err := tech.ClusterEnergy(sharedCluster(2), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.StaticJ <= 0 || e.CoreDynJ <= 0 || e.CacheDynJ <= 0 || e.BusDynJ <= 0 || e.LineBufDynJ <= 0 {
+		t.Fatalf("all components should be positive: %+v", e)
+	}
+	if got := e.TotalJ(); got <= e.StaticJ {
+		t.Fatal("total must exceed any single component")
+	}
+	// Private baseline has no bus energy.
+	pe, err := tech.ClusterEnergy(privateCluster(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.BusDynJ != 0 {
+		t.Fatal("private cluster should have zero bus energy")
+	}
+}
+
+func TestSharingSavesEnergyAtEqualTime(t *testing.T) {
+	// With the same cycle count and activity, the shared 16 KB design
+	// must burn less energy than 8 private 32 KB caches (less leakage
+	// area, cheaper accesses) — the Fig 12 energy direction.
+	tech := Default45nm()
+	act := Activity{
+		Cycles: 2_000_000, Instructions: 16_000_000,
+		CacheAccesses: 1_000_000, LineBufferHits: 3_000_000,
+	}
+	base, err := tech.Evaluate(privateCluster(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedAct := act
+	sharedAct.BusTransactions = act.CacheAccesses
+	shared, err := tech.Evaluate(sharedCluster(2), sharedAct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, er, ar := shared.Relative(base)
+	if tr != 1 {
+		t.Fatalf("time ratio = %v, want 1", tr)
+	}
+	if er >= 1 {
+		t.Fatalf("energy ratio = %v, sharing should save energy at equal time", er)
+	}
+	if ar >= 1 {
+		t.Fatalf("area ratio = %v, sharing should save area", ar)
+	}
+}
+
+func TestEvaluatePropagatesErrors(t *testing.T) {
+	tech := Default45nm()
+	badCluster := privateCluster()
+	badCluster.Workers = 0
+	if _, err := tech.Evaluate(badCluster, Activity{Cycles: 1}); err == nil {
+		t.Fatal("expected error from invalid cluster")
+	}
+	badTech := tech
+	badTech.ClockHz = 0
+	if _, err := badTech.ClusterArea(privateCluster()); err == nil {
+		t.Fatal("expected error from invalid tech")
+	}
+	if _, err := badTech.ClusterEnergy(privateCluster(), Activity{}); err == nil {
+		t.Fatal("expected error from invalid tech in energy path")
+	}
+}
+
+// Property: area is monotone in cache size and worker count.
+func TestAreaMonotoneProperty(t *testing.T) {
+	tech := Default45nm()
+	f := func(kbRaw, workersRaw uint8) bool {
+		kb := 8 << (kbRaw % 3) // 8, 16, 32
+		workers := int(workersRaw%15) + 2
+		small := Cluster{Workers: workers, Caches: 1, Cache: icache(kb),
+			BusesPerCache: 1, BusWidthBytes: 32, LineBuffersPerCore: 4}
+		bigger := small
+		bigger.Cache = icache(kb * 2)
+		moreCores := small
+		moreCores.Workers = workers + 1
+		a1, err1 := tech.ClusterArea(small)
+		a2, err2 := tech.ClusterArea(bigger)
+		a3, err3 := tech.ClusterArea(moreCores)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return a2.TotalMM2() > a1.TotalMM2() && a3.TotalMM2() > a1.TotalMM2()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy is monotone in every activity counter.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	tech := Default45nm()
+	cl := sharedCluster(2)
+	f := func(c, i, a, b, l uint32) bool {
+		act := Activity{Cycles: uint64(c) + 1, Instructions: uint64(i),
+			CacheAccesses: uint64(a), BusTransactions: uint64(b), LineBufferHits: uint64(l)}
+		e0, err := tech.ClusterEnergy(cl, act)
+		if err != nil {
+			return false
+		}
+		bump := act
+		bump.Cycles += 1000
+		bump.Instructions += 1000
+		bump.CacheAccesses += 1000
+		bump.BusTransactions += 1000
+		bump.LineBufferHits += 1000
+		e1, err := tech.ClusterEnergy(cl, bump)
+		if err != nil {
+			return false
+		}
+		return e1.TotalJ() > e0.TotalJ()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Labels returns the row labels in insertion order.
+func (t *Table) Labels() []string {
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.label
+	}
+	return out
+}
+
+// Cells returns the formatted cell matrix (rows x columns).
+func (t *Table) Cells() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r.cells...)
+	}
+	return out
+}
+
+// Column returns the numeric values of column i (0-based, excluding
+// the label column) and whether every row has a numeric value there.
+// Rows added with AddStringRow yield NaN entries and ok=false.
+func (t *Table) Column(i int) (vals []float64, ok bool) {
+	ok = true
+	for _, r := range t.rows {
+		if i < len(r.vals) && !math.IsNaN(r.vals[i]) {
+			vals = append(vals, r.vals[i])
+			continue
+		}
+		vals = append(vals, math.NaN())
+		ok = false
+	}
+	return vals, ok
+}
+
+// CSV renders the table as RFC-4180 CSV with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := append([]string{"label"}, t.Columns...)
+	_ = w.Write(header)
+	for _, r := range t.rows {
+		_ = w.Write(append([]string{r.label}, r.cells...))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// tableJSON is the serialised form of a Table.
+type tableJSON struct {
+	Title   string    `json:"title"`
+	Columns []string  `json:"columns"`
+	Rows    []rowJSON `json:"rows"`
+}
+
+type rowJSON struct {
+	Label string   `json:"label"`
+	Cells []string `json:"cells"`
+}
+
+// JSON renders the table as a JSON document.
+func (t *Table) JSON() ([]byte, error) {
+	doc := tableJSON{Title: t.Title, Columns: t.Columns}
+	for _, r := range t.rows {
+		doc.Rows = append(doc.Rows, rowJSON{Label: r.label, Cells: r.cells})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Bars renders column i of the table as a horizontal ASCII bar chart
+// of the given width — the terminal stand-in for the paper's bar
+// figures. Non-numeric cells render as empty bars. Bars are scaled to
+// the column maximum; a baseline argument >= 0 draws a marker at that
+// value (e.g. 1.0 for normalised execution time).
+func (t *Table) Bars(i int, width int, baseline float64) string {
+	if width < 10 {
+		width = 10
+	}
+	vals, _ := t.Column(i)
+	maxV := 0.0
+	for _, v := range vals {
+		if !math.IsNaN(v) && v > maxV {
+			maxV = v
+		}
+	}
+	if baseline > maxV {
+		maxV = baseline
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colName := ""
+	if i < len(t.Columns) {
+		colName = t.Columns[i]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.Title, colName)
+	markerAt := -1
+	if baseline > 0 {
+		markerAt = int(baseline / maxV * float64(width))
+		if markerAt >= width {
+			markerAt = width - 1
+		}
+	}
+	for ri, r := range t.rows {
+		v := vals[ri]
+		fmt.Fprintf(&b, "%-*s ", labelW, r.label)
+		if math.IsNaN(v) {
+			b.WriteString(strings.Repeat(" ", width))
+			fmt.Fprintf(&b, "  %s\n", cellOrDash(r, i))
+			continue
+		}
+		n := int(v / maxV * float64(width))
+		if n > width {
+			n = width
+		}
+		for x := 0; x < width; x++ {
+			switch {
+			case x < n:
+				b.WriteByte('#')
+			case x == markerAt:
+				b.WriteByte('|')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(&b, "  %s\n", cellOrDash(r, i))
+	}
+	return b.String()
+}
+
+func cellOrDash(r row, i int) string {
+	if i < len(r.cells) {
+		return r.cells[i]
+	}
+	return "-"
+}

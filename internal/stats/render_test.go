@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func renderTable() *Table {
+	t := NewTable("Fig X", "time", "energy")
+	t.AddRow("BT", 1.021, 0.93)
+	t.AddRow("UA", 1.047, 0.95)
+	t.AddStringRow("note", "n/a", "n/a")
+	return t
+}
+
+func TestLabelsAndCells(t *testing.T) {
+	tb := renderTable()
+	labels := tb.Labels()
+	if len(labels) != 3 || labels[0] != "BT" || labels[2] != "note" {
+		t.Fatalf("labels = %v", labels)
+	}
+	cells := tb.Cells()
+	if cells[0][0] != "1.021" || cells[2][1] != "n/a" {
+		t.Fatalf("cells = %v", cells)
+	}
+	// Mutating the copy must not affect the table.
+	cells[0][0] = "X"
+	if tb.Cells()[0][0] == "X" {
+		t.Fatal("Cells should return a copy")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tb := renderTable()
+	vals, ok := tb.Column(0)
+	if ok {
+		t.Fatal("string row should make the column non-numeric")
+	}
+	if vals[0] != 1.021 || vals[1] != 1.047 || !math.IsNaN(vals[2]) {
+		t.Fatalf("column = %v", vals)
+	}
+	numeric := NewTable("n", "v")
+	numeric.AddRow("a", 2)
+	if _, ok := numeric.Column(0); !ok {
+		t.Fatal("all-numeric column should report ok")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := renderTable()
+	records, err := csv.NewReader(strings.NewReader(tb.CSV())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("csv rows = %d, want header + 3", len(records))
+	}
+	if records[0][0] != "label" || records[0][2] != "energy" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][0] != "BT" || records[3][1] != "n/a" {
+		t.Fatalf("rows = %v", records[1:])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tb := renderTable()
+	raw, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Label string   `json:"label"`
+			Cells []string `json:"cells"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title != "Fig X" || len(doc.Columns) != 2 || len(doc.Rows) != 3 {
+		t.Fatalf("json = %+v", doc)
+	}
+	if doc.Rows[1].Label != "UA" || doc.Rows[1].Cells[0] != "1.047" {
+		t.Fatalf("row = %+v", doc.Rows[1])
+	}
+}
+
+func TestBars(t *testing.T) {
+	tb := renderTable()
+	out := tb.Bars(0, 40, 1.0)
+	if !strings.Contains(out, "Fig X — time") {
+		t.Fatalf("missing chart title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	// UA's bar must be at least as long as BT's (larger value).
+	bt := strings.Count(lines[1], "#")
+	ua := strings.Count(lines[2], "#")
+	if ua < bt || bt == 0 {
+		t.Fatalf("bar lengths: BT=%d UA=%d\n%s", bt, ua, out)
+	}
+	// The string row renders without a bar.
+	if strings.Count(lines[3], "#") != 0 {
+		t.Fatalf("string row should have no bar:\n%s", out)
+	}
+	// Values appear at the end of each bar line.
+	if !strings.Contains(lines[1], "1.021") {
+		t.Fatalf("value missing from bar line: %q", lines[1])
+	}
+}
+
+func TestBarsBaselineMarker(t *testing.T) {
+	tb := NewTable("t", "v")
+	tb.AddRow("half", 0.5)
+	tb.AddRow("full", 1.0)
+	out := tb.Bars(0, 20, 1.0)
+	// The half bar leaves room for the baseline marker.
+	if !strings.Contains(out, "|") {
+		t.Fatalf("baseline marker missing:\n%s", out)
+	}
+	// Degenerate width clamps instead of exploding.
+	if small := tb.Bars(0, 1, 0); !strings.Contains(small, "#") {
+		t.Fatal("clamped width should still render bars")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	tb := NewTable("z", "v")
+	tb.AddRow("a", 0)
+	out := tb.Bars(0, 20, 0)
+	if !strings.Contains(out, "a") {
+		t.Fatalf("zero table should still render labels:\n%s", out)
+	}
+}

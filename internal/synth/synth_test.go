@@ -1,0 +1,401 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"sharedicache/internal/cachesim"
+	"sharedicache/internal/trace"
+)
+
+func testCfg() Config {
+	return Config{Workers: 8, MasterInstructions: 200_000, Seed: 7}
+}
+
+func mustWorkload(t *testing.T, name string) *Workload {
+	t.Helper()
+	p, ok := ProfileByName(name)
+	if !ok {
+		t.Fatalf("profile %q missing", name)
+	}
+	w, err := New(p, testCfg())
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return w
+}
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 24 {
+		t.Fatalf("got %d profiles, want 24 (the paper's workload count)", len(ps))
+	}
+	suites := map[string]int{}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		suites[p.Suite]++
+		if p.SerialBB < 8 || p.ParallelBB < 8 {
+			t.Errorf("%s: basic block sizes too small", p.Name)
+		}
+		if p.Phases < 1 || p.Trips < 2 {
+			t.Errorf("%s: bad structure phases=%d trips=%d", p.Name, p.Phases, p.Trips)
+		}
+		if p.MasterSerialIPC <= 0 || p.WorkerIPC <= 0 {
+			t.Errorf("%s: bad IPC values", p.Name)
+		}
+		if p.SerialColdFrac < 0 || p.SerialColdFrac > 0.95 {
+			t.Errorf("%s: SerialColdFrac %v out of range", p.Name, p.SerialColdFrac)
+		}
+	}
+	if suites[SuiteNPB] != 10 || suites[SuiteSPECOMP] != 10 || suites[SuiteExMatEx] != 4 {
+		t.Fatalf("suite split = %v, want 10/10/4", suites)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("LULESH"); !ok {
+		t.Fatal("LULESH should exist")
+	}
+	if _, ok := ProfileByName("nonesuch"); ok {
+		t.Fatal("nonesuch should not exist")
+	}
+	if len(ProfileNames()) != 24 {
+		t.Fatal("ProfileNames length mismatch")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := mustWorkload(t, "FT")
+	a := trace.Collect(w.Source(3))
+	b := trace.Collect(w.Source(3))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must change the stream.
+	p, _ := ProfileByName("FT")
+	cfg := testCfg()
+	cfg.Seed = 99
+	w2, _ := New(p, cfg)
+	c := trace.Collect(w2.Source(3))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestStreamWellFormed checks structural trace invariants for every
+// profile: balanced section markers, fall-through continuity, correct
+// instruction byte accounting, and a final End record.
+func TestStreamWellFormed(t *testing.T) {
+	cfg := Config{Workers: 4, MasterInstructions: 50_000, Seed: 3}
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			w, err := New(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for th := 0; th < w.NumThreads(); th++ {
+				recs := trace.Collect(w.Source(th))
+				if len(recs) == 0 || recs[len(recs)-1].Kind != trace.KindEnd {
+					t.Fatalf("thread %d: missing End record", th)
+				}
+				starts, ends, crit := 0, 0, 0
+				var prev *trace.Record
+				for i := range recs {
+					r := recs[i]
+					switch r.Kind {
+					case trace.KindParallelStart:
+						starts++
+						prev = nil
+					case trace.KindParallelEnd:
+						ends++
+						prev = nil
+					case trace.KindCriticalWait:
+						crit++
+						prev = nil
+					case trace.KindCriticalSignal:
+						crit--
+						prev = nil
+					case trace.KindIPCSet, trace.KindBarrier, trace.KindEnd:
+						prev = nil
+					case trace.KindFetchBlock:
+						if r.NumInstr*4 != r.Len {
+							t.Fatalf("thread %d rec %d: %d instrs != %d bytes", th, i, r.NumInstr, r.Len)
+						}
+						if prev != nil && !prev.Taken && prev.Target != r.Addr {
+							t.Fatalf("thread %d rec %d: fall-through target %#x but next block at %#x",
+								th, i, prev.Target, r.Addr)
+						}
+						if prev != nil && prev.Taken && prev.Target != r.Addr {
+							t.Fatalf("thread %d rec %d: taken target %#x but next block at %#x",
+								th, i, prev.Target, r.Addr)
+						}
+						prev = &recs[i]
+					}
+				}
+				if starts != p.Phases || ends != p.Phases {
+					t.Fatalf("thread %d: %d starts / %d ends, want %d phases", th, starts, ends, p.Phases)
+				}
+				if crit != 0 {
+					t.Fatalf("thread %d: unbalanced critical sections (%d)", th, crit)
+				}
+			}
+		})
+	}
+}
+
+// sectionStats measures basic-block means and 32 KB I-cache MPKI per
+// section type from a thread's stream, mirroring the paper's Pin-based
+// characterisation.
+type sectionStats struct {
+	serInstr, parInstr   uint64
+	serBlocks, parBlocks uint64
+	serBytes, parBytes   uint64
+	serMiss, parMiss     uint64
+}
+
+func measureSections(src trace.Source) sectionStats {
+	cache := cachesim.New(cachesim.Config{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8})
+	var st sectionStats
+	inParallel := false
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return st
+		}
+		switch r.Kind {
+		case trace.KindParallelStart:
+			inParallel = true
+		case trace.KindParallelEnd:
+			inParallel = false
+		case trace.KindFetchBlock:
+			misses := uint64(0)
+			for line := r.Addr &^ 63; line < r.Addr+uint64(r.Len); line += 64 {
+				if !cache.Access(line).Hit {
+					misses++
+				}
+			}
+			if inParallel {
+				st.parInstr += uint64(r.NumInstr)
+				st.parBlocks++
+				st.parBytes += uint64(r.Len)
+				st.parMiss += misses
+			} else {
+				st.serInstr += uint64(r.NumInstr)
+				st.serBlocks++
+				st.serBytes += uint64(r.Len)
+				st.serMiss += misses
+			}
+		}
+	}
+}
+
+func TestBasicBlockMeansMatchProfile(t *testing.T) {
+	for _, name := range []string{"LU", "CG", "nab", "LULESH"} {
+		w := mustWorkload(t, name)
+		st := measureSections(w.Source(0))
+		p := w.Profile()
+		serMean := float64(st.serBytes) / float64(st.serBlocks)
+		parMean := float64(st.parBytes) / float64(st.parBlocks)
+		if math.Abs(serMean-float64(p.SerialBB)) > 0.25*float64(p.SerialBB) {
+			t.Errorf("%s: serial BB mean %.1f, profile %d", name, serMean, p.SerialBB)
+		}
+		if math.Abs(parMean-float64(p.ParallelBB)) > 0.25*float64(p.ParallelBB) {
+			t.Errorf("%s: parallel BB mean %.1f, profile %d", name, parMean, p.ParallelBB)
+		}
+	}
+}
+
+func TestMPKIShape(t *testing.T) {
+	// The headline characterisation of Fig 3: serial MPKI is orders of
+	// magnitude above parallel MPKI, and tracks 62.5 × SerialColdFrac.
+	for _, name := range []string{"DC", "fma3d", "EP", "LULESH"} {
+		w := mustWorkload(t, name)
+		st := measureSections(w.Source(0))
+		p := w.Profile()
+		serMPKI := float64(st.serMiss) / float64(st.serInstr) * 1000
+		parMPKI := float64(st.parMiss) / float64(st.parInstr) * 1000
+		target := 62.5 * p.SerialColdFrac
+		if serMPKI < 0.5*target || serMPKI > 1.6*target+2 {
+			t.Errorf("%s: serial MPKI %.1f, target %.1f", name, serMPKI, target)
+		}
+		if parMPKI > 2 {
+			t.Errorf("%s: parallel MPKI %.2f should be near zero", name, parMPKI)
+		}
+		if p.SerialColdFrac > 0.1 && serMPKI < 5*parMPKI {
+			t.Errorf("%s: serial MPKI %.2f not ≫ parallel %.2f", name, serMPKI, parMPKI)
+		}
+	}
+}
+
+func TestInstructionSharing(t *testing.T) {
+	// Dynamic sharing across workers should be ≈ 1 − PrivateFrac
+	// (Fig 4: ~99% on average, lower for task-based benchmarks).
+	for _, name := range []string{"LU", "botsalgn"} {
+		w := mustWorkload(t, name)
+		n := w.NumThreads()
+		perThread := make([]map[uint64]uint64, n) // block addr -> dyn instrs
+		totals := make([]uint64, n)
+		for th := 0; th < n; th++ {
+			perThread[th] = map[uint64]uint64{}
+			src := w.Source(th)
+			inPar := false
+			for {
+				r, ok := src.Next()
+				if !ok {
+					break
+				}
+				switch r.Kind {
+				case trace.KindParallelStart:
+					inPar = true
+				case trace.KindParallelEnd:
+					inPar = false
+				case trace.KindFetchBlock:
+					if inPar {
+						perThread[th][r.Addr] += uint64(r.NumInstr)
+						totals[th] += uint64(r.NumInstr)
+					}
+				}
+			}
+		}
+		// Shared = executed by every thread.
+		var shared, total uint64
+		for addr, cnt := range perThread[1] {
+			everywhere := true
+			for th := 0; th < n; th++ {
+				if _, ok := perThread[th][addr]; !ok {
+					everywhere = false
+					break
+				}
+			}
+			if everywhere {
+				shared += cnt
+			}
+		}
+		total = totals[1]
+		frac := float64(shared) / float64(total)
+		p := w.Profile()
+		want := 1 - p.PrivateFrac
+		if frac < want-0.05 {
+			t.Errorf("%s: dynamic sharing %.3f, want ≈ %.3f", name, frac, want)
+		}
+		if p.PrivateFrac > 0.03 && frac > 0.995 {
+			t.Errorf("%s: task-based benchmark should not share ~100%% (got %.4f)", name, frac)
+		}
+	}
+}
+
+func TestWorkerBudgetTracksMaster(t *testing.T) {
+	w := mustWorkload(t, "MG")
+	mst := measureSections(w.Source(0))
+	wst := measureSections(w.Source(1))
+	if wst.serInstr != 0 {
+		t.Fatalf("worker executed %d serial instructions", wst.serInstr)
+	}
+	ratio := float64(wst.parInstr) / float64(mst.parInstr)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("worker/master parallel instr ratio %.3f, want ≈1", ratio)
+	}
+	// Master totals ≈ configured budget.
+	got := mst.serInstr + mst.parInstr
+	want := testCfg().MasterInstructions
+	if float64(got) < 0.95*float64(want) || float64(got) > 1.1*float64(want) {
+		t.Fatalf("master instructions %d, configured %d", got, want)
+	}
+}
+
+func TestSerialFraction(t *testing.T) {
+	for _, name := range []string{"CoMD", "nab", "EP"} {
+		w := mustWorkload(t, name)
+		st := measureSections(w.Source(0))
+		frac := float64(st.serInstr) / float64(st.serInstr+st.parInstr)
+		p := w.Profile()
+		if math.Abs(frac-p.SerialFrac) > 0.03+0.2*p.SerialFrac {
+			t.Errorf("%s: serial fraction %.3f, profile %.3f", name, frac, p.SerialFrac)
+		}
+	}
+}
+
+func TestSkewRotatesStart(t *testing.T) {
+	w := mustWorkload(t, "botsalgn") // Skew: true
+	firstPar := func(th int) uint64 {
+		src := w.Source(th)
+		inPar := false
+		for {
+			r, ok := src.Next()
+			if !ok {
+				return 0
+			}
+			if r.Kind == trace.KindParallelStart {
+				inPar = true
+			}
+			if inPar && r.Kind == trace.KindFetchBlock {
+				return r.Addr
+			}
+		}
+	}
+	if firstPar(1) == firstPar(5) {
+		t.Fatal("skewed workload: distinct workers started at the same kernel")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Workers: 0, MasterInstructions: 10_000}).Validate(); err == nil {
+		t.Fatal("Workers=0 should fail")
+	}
+	if err := (Config{Workers: 8, MasterInstructions: 10}).Validate(); err == nil {
+		t.Fatal("tiny budget should fail")
+	}
+	if _, err := New(Profile{}, testCfg()); err == nil {
+		t.Fatal("empty profile should fail")
+	}
+}
+
+func TestBuildRegion(t *testing.T) {
+	r := buildRegion(0x1000, 4096, 64, 512, newRNG(1))
+	if got := r.Footprint(); got < 4096 || got > 4096+256 {
+		t.Fatalf("footprint %d, want ≈4096", got)
+	}
+	// Contiguity.
+	for i := 1; i < len(r.blocks); i++ {
+		if r.blocks[i].addr != r.blocks[i-1].addr+uint64(r.blocks[i-1].size) {
+			t.Fatalf("blocks %d/%d not contiguous", i-1, i)
+		}
+	}
+	// Kernel partition covers all blocks exactly once.
+	covered := 0
+	for _, k := range r.kernels {
+		covered += k[1] - k[0]
+	}
+	if covered != len(r.blocks) {
+		t.Fatalf("kernels cover %d of %d blocks", covered, len(r.blocks))
+	}
+}
+
+func TestSourcePanicsOutOfRange(t *testing.T) {
+	w := mustWorkload(t, "BT")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Source(99) should panic")
+		}
+	}()
+	w.Source(99)
+}

@@ -1,0 +1,60 @@
+package synth
+
+// regionLines returns the distinct lineBytes-aligned line addresses a
+// region's blocks touch, in address order of first appearance.
+func regionLines(reg *region, lineBytes int) []uint64 {
+	if reg == nil {
+		return nil
+	}
+	mask := ^uint64(lineBytes - 1)
+	var out []uint64
+	var last uint64 = ^uint64(0)
+	for _, b := range reg.blocks {
+		end := b.addr + uint64(b.size)
+		for line := b.addr & mask; line < end; line += uint64(lineBytes) {
+			if line != last {
+				out = append(out, line)
+				last = line
+			}
+		}
+	}
+	return out
+}
+
+// WarmLines returns the steady-state I-cache working set of one thread
+// in install order, coldest first: the thread's private code, then (on
+// the master) the serial hot region, then the parallel hot region that
+// every thread loops over. Installing in this order makes the hottest
+// code win LRU when the set exceeds the cache capacity — the state a
+// long-running benchmark converges to, which the paper's 20+ G
+// instruction traces measure and a scaled-down run must start from.
+// Cold-streamed regions are deliberately excluded: they never fit.
+func (w *Workload) WarmLines(thread int, lineBytes int) []uint64 {
+	if thread < 0 || thread >= w.NumThreads() {
+		return nil
+	}
+	var lines []uint64
+	lines = append(lines, regionLines(w.private[thread], lineBytes)...)
+	if thread == 0 {
+		lines = append(lines, regionLines(w.serHot, lineBytes)...)
+	}
+	lines = append(lines, regionLines(w.parHot, lineBytes)...)
+	return lines
+}
+
+// L2WarmLines returns the steady-state L2 working set of one thread:
+// everything WarmLines covers plus the cold-streamed regions, which a
+// 1 MB L2 retains across passes. Cold regions install first so the hot
+// code stays most recent.
+func (w *Workload) L2WarmLines(thread int, lineBytes int) []uint64 {
+	if thread < 0 || thread >= w.NumThreads() {
+		return nil
+	}
+	var lines []uint64
+	if thread == 0 {
+		lines = append(lines, regionLines(w.serCold, lineBytes)...)
+	}
+	lines = append(lines, regionLines(w.parCold, lineBytes)...)
+	lines = append(lines, w.WarmLines(thread, lineBytes)...)
+	return lines
+}

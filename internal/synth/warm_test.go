@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sharedicache/internal/trace"
+)
+
+func testWorkload(t *testing.T, name string) *Workload {
+	t.Helper()
+	p, ok := ProfileByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	w, err := New(p, Config{Workers: 8, MasterInstructions: 50_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWarmLinesAligned(t *testing.T) {
+	w := testWorkload(t, "FT")
+	for thread := 0; thread < w.NumThreads(); thread++ {
+		lines := w.WarmLines(thread, 64)
+		if len(lines) == 0 {
+			t.Fatalf("thread %d has no warm set", thread)
+		}
+		for _, l := range lines {
+			if l%64 != 0 {
+				t.Fatalf("unaligned warm line %#x", l)
+			}
+		}
+	}
+}
+
+func TestWarmLinesMasterIncludesSerialHot(t *testing.T) {
+	w := testWorkload(t, "FT")
+	master := len(w.WarmLines(0, 64))
+	worker := len(w.WarmLines(1, 64))
+	if master <= worker {
+		t.Fatalf("master warm set (%d) should exceed worker's (%d): it adds serial hot code",
+			master, worker)
+	}
+}
+
+func TestWarmLinesHottestLast(t *testing.T) {
+	// The parallel hot region must be installed last so it wins LRU.
+	w := testWorkload(t, "FT")
+	lines := w.WarmLines(1, 64)
+	last := lines[len(lines)-1]
+	if last < baseParallelHot || last >= baseParallelCold {
+		t.Fatalf("last installed line %#x is not in the parallel hot region", last)
+	}
+	first := lines[0]
+	if first < basePrivate {
+		t.Fatalf("first installed line %#x should be private (coldest-first order)", first)
+	}
+}
+
+func TestL2WarmSupersetOfICacheWarm(t *testing.T) {
+	w := testWorkload(t, "CoEVP") // has a parallel cold region too
+	for _, thread := range []int{0, 3} {
+		ic := w.WarmLines(thread, 64)
+		l2 := w.L2WarmLines(thread, 64)
+		set := make(map[uint64]bool, len(l2))
+		for _, l := range l2 {
+			set[l] = true
+		}
+		for _, l := range ic {
+			if !set[l] {
+				t.Fatalf("thread %d: I-cache warm line %#x missing from L2 set", thread, l)
+			}
+		}
+		if len(l2) <= len(ic) {
+			t.Fatalf("thread %d: L2 warm set should add the cold regions", thread)
+		}
+	}
+}
+
+func TestWarmLinesOutOfRange(t *testing.T) {
+	w := testWorkload(t, "FT")
+	if w.WarmLines(-1, 64) != nil || w.WarmLines(99, 64) != nil {
+		t.Fatal("out-of-range threads should return nil")
+	}
+	if w.L2WarmLines(-1, 64) != nil || w.L2WarmLines(99, 64) != nil {
+		t.Fatal("out-of-range threads should return nil")
+	}
+}
+
+func TestWarmLinesCoverHotTrace(t *testing.T) {
+	// Every hot-region (non-cold, non-private) fetch in the trace must
+	// touch only lines present in the thread's warm set.
+	w := testWorkload(t, "LU")
+	warm := map[uint64]bool{}
+	for _, l := range w.WarmLines(1, 64) {
+		warm[l] = true
+	}
+	src := w.Source(1)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if rec.Kind != trace.KindFetchBlock {
+			continue
+		}
+		if rec.Addr >= baseParallelCold {
+			continue // cold stream or later regions are not warmed
+		}
+		if rec.Addr < baseParallelHot {
+			continue // serial regions (master only)
+		}
+		end := rec.Addr + uint64(rec.Len)
+		for line := rec.Addr &^ 63; line < end; line += 64 {
+			if !warm[line] {
+				t.Fatalf("hot line %#x not in warm set", line)
+			}
+		}
+	}
+}
+
+func TestSourcesShape(t *testing.T) {
+	w := testWorkload(t, "FT")
+	srcs := w.Sources()
+	if len(srcs) != w.NumThreads() {
+		t.Fatalf("sources = %d, want %d", len(srcs), w.NumThreads())
+	}
+	// Each source is independent: draining one leaves others intact.
+	n1 := 0
+	for {
+		if _, ok := srcs[1].Next(); !ok {
+			break
+		}
+		n1++
+	}
+	if n1 == 0 {
+		t.Fatal("worker source empty")
+	}
+	if _, ok := srcs[2].Next(); !ok {
+		t.Fatal("sibling source should be untouched")
+	}
+}
+
+// Property: warm sets are deterministic and free of adjacent
+// duplicates for any profile and line size.
+func TestWarmLinesDeterministicProperty(t *testing.T) {
+	profiles := Profiles()
+	f := func(pi uint8, threadRaw uint8, shift uint8) bool {
+		p := profiles[int(pi)%len(profiles)]
+		w, err := New(p, Config{Workers: 4, MasterInstructions: 20_000, Seed: 9})
+		if err != nil {
+			return false
+		}
+		thread := int(threadRaw) % w.NumThreads()
+		lineBytes := 32 << (shift % 3) // 32, 64, 128
+		a := w.WarmLines(thread, lineBytes)
+		b := w.WarmLines(thread, lineBytes)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			if a[i]%uint64(lineBytes) != 0 {
+				return false
+			}
+			if i > 0 && a[i] == a[i-1] {
+				return false // adjacent duplicate
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

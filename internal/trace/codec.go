@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format:
+//
+//	magic   [8]byte  "ACMPTRC1"
+//	records ...      varint-encoded, delta-compressed addresses
+//
+// Each record starts with a kind byte. FetchBlock records encode the
+// start address as a zig-zag delta from the previous block's start, the
+// length, instruction count, a flag byte (taken/hasBranch), the branch
+// address as a delta from the block start, and the target as a zig-zag
+// delta from the block end. Control records encode their single payload
+// as a uvarint. The encoding favours the common case of sequential code
+// where deltas are tiny.
+
+var magic = [8]byte{'A', 'C', 'M', 'P', 'T', 'R', 'C', '1'}
+
+// ErrBadMagic reports a stream that does not begin with the trace magic.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Writer serialises records to a binary stream.
+type Writer struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	buf      [binary.MaxVarintLen64]byte
+	started  bool
+	err      error
+}
+
+// NewWriter returns a Writer emitting to w. The magic header is written
+// lazily on the first record.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func (w *Writer) putUvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.w.Write(w.buf[:n])
+}
+
+func (w *Writer) putByte(b byte) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(b)
+}
+
+// Write appends one record to the stream.
+func (w *Writer) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.started {
+		w.started = true
+		if _, err := w.w.Write(magic[:]); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	w.putByte(byte(r.Kind))
+	switch r.Kind {
+	case KindFetchBlock:
+		w.putUvarint(zigzag(int64(r.Addr) - int64(w.prevAddr)))
+		w.putUvarint(uint64(r.Len))
+		w.putUvarint(uint64(r.NumInstr))
+		var flags byte
+		if r.Taken {
+			flags |= 1
+		}
+		if r.HasBranch {
+			flags |= 2
+		}
+		w.putByte(flags)
+		if r.HasBranch {
+			w.putUvarint(zigzag(int64(r.BranchAddr) - int64(r.Addr)))
+		}
+		end := r.Addr + uint64(r.Len)
+		w.putUvarint(zigzag(int64(r.Target) - int64(end)))
+		w.prevAddr = r.Addr
+	case KindIPCSet:
+		w.putUvarint(uint64(r.IPCMilli))
+	case KindCriticalWait, KindCriticalSignal:
+		w.putUvarint(uint64(r.Sync))
+	case KindParallelStart, KindParallelEnd, KindBarrier, KindEnd:
+		// kind byte only
+	default:
+		w.err = fmt.Errorf("trace: cannot encode kind %v", r.Kind)
+	}
+	return w.err
+}
+
+// Flush writes buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// Reader decodes a binary trace stream. It implements Source.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+	started  bool
+	err      error
+}
+
+// NewReader returns a Reader over r. The magic header is validated on
+// the first Next call.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Err returns the first error encountered while decoding, excluding a
+// clean end-of-stream.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record: %w", err)
+	}
+	return v
+}
+
+// Next implements Source. Decoding errors surface through Err.
+func (r *Reader) Next() (Record, bool) {
+	if r.err != nil {
+		return Record{}, false
+	}
+	if !r.started {
+		r.started = true
+		var hdr [8]byte
+		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return Record{}, false
+			}
+			r.err = err
+			return Record{}, false
+		}
+		if hdr != magic {
+			r.err = ErrBadMagic
+			return Record{}, false
+		}
+	}
+	kb, err := r.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			r.err = err
+		}
+		return Record{}, false
+	}
+	rec := Record{Kind: Kind(kb)}
+	switch rec.Kind {
+	case KindFetchBlock:
+		rec.Addr = uint64(int64(r.prevAddr) + unzigzag(r.uvarint()))
+		rec.Len = uint32(r.uvarint())
+		rec.NumInstr = uint32(r.uvarint())
+		flags, err := r.r.ReadByte()
+		if err != nil {
+			r.err = fmt.Errorf("trace: truncated record: %w", err)
+			return Record{}, false
+		}
+		rec.Taken = flags&1 != 0
+		rec.HasBranch = flags&2 != 0
+		if rec.HasBranch {
+			rec.BranchAddr = uint64(int64(rec.Addr) + unzigzag(r.uvarint()))
+		}
+		end := rec.Addr + uint64(rec.Len)
+		rec.Target = uint64(int64(end) + unzigzag(r.uvarint()))
+		r.prevAddr = rec.Addr
+	case KindIPCSet:
+		rec.IPCMilli = uint32(r.uvarint())
+	case KindCriticalWait, KindCriticalSignal:
+		rec.Sync = uint32(r.uvarint())
+	case KindParallelStart, KindParallelEnd, KindBarrier, KindEnd:
+	default:
+		r.err = fmt.Errorf("trace: unknown kind byte %d", kb)
+		return Record{}, false
+	}
+	if r.err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}

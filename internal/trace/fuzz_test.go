@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRoundTrip drives arbitrary record fields through the binary
+// codec and requires exact reproduction. Run the stored corpus as a
+// test, or explore with `go test -fuzz=FuzzCodecRoundTrip`.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint64(0x1000), uint32(64), uint32(16), true, true,
+		uint64(0x2000), uint64(0x1040), uint32(7), uint32(1200))
+	f.Add(uint8(1), uint64(0), uint32(0), uint32(0), false, false,
+		uint64(0), uint64(0), uint32(0), uint32(0))
+	f.Add(uint8(7), uint64(1)<<62, uint32(1)<<30, uint32(9999), true, false,
+		uint64(1)<<63, uint64(3), uint32(1)<<31-1, uint32(4000))
+	f.Fuzz(func(t *testing.T, kind uint8, addr uint64, length, numInstr uint32,
+		hasBranch, taken bool, target, branchAddr uint64, sync, ipc uint32) {
+		rec := Record{
+			Kind:       Kind(kind % 8),
+			Addr:       addr,
+			Len:        length,
+			NumInstr:   numInstr,
+			HasBranch:  hasBranch,
+			Taken:      taken,
+			Target:     target,
+			BranchAddr: branchAddr,
+			Sync:       sync,
+			IPCMilli:   ipc,
+		}
+		// The codec only persists the fields meaningful for the record
+		// kind, exactly like the simulator's consumption; normalise the
+		// input the same way before comparing.
+		switch rec.Kind {
+		case KindFetchBlock:
+			rec.Sync, rec.IPCMilli = 0, 0
+			if !rec.HasBranch {
+				rec.Taken, rec.Target, rec.BranchAddr = false, 0, 0
+			}
+		case KindCriticalWait, KindCriticalSignal:
+			rec = Record{Kind: rec.Kind, Sync: rec.Sync}
+		case KindIPCSet:
+			rec = Record{Kind: rec.Kind, IPCMilli: rec.IPCMilli}
+		default:
+			rec = Record{Kind: rec.Kind}
+		}
+
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record did not come back: %v", r.Err())
+		}
+		if got != rec {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", rec, got)
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatal("stream should hold exactly one record")
+		}
+	})
+}
+
+// FuzzReaderRobustness feeds arbitrary bytes to the reader: it must
+// terminate without panicking, either decoding records or reporting an
+// error, never both silently.
+func FuzzReaderRobustness(f *testing.F) {
+	var seed bytes.Buffer
+	w := NewWriter(&seed)
+	_ = w.Write(Record{Kind: KindFetchBlock, Addr: 0x40, Len: 64, NumInstr: 16})
+	_ = w.Write(Record{Kind: KindEnd})
+	_ = w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1_000_000; i++ {
+			if _, ok := r.Next(); !ok {
+				return // clean EOF or error
+			}
+		}
+		t.Fatal("reader failed to terminate on bounded input")
+	})
+}

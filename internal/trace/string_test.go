@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordString(t *testing.T) {
+	cases := []struct {
+		rec  Record
+		want []string
+	}{
+		{Record{Kind: KindFetchBlock, Addr: 0x1000, Len: 64, NumInstr: 16},
+			[]string{"FB", "0x1000", "16"}},
+		{Record{Kind: KindFetchBlock, Addr: 0x2000, Len: 32, NumInstr: 8,
+			HasBranch: true, Taken: true, Target: 0x3000, BranchAddr: 0x201c},
+			[]string{"FB", "t->", "0x3000"}},
+		{Record{Kind: KindParallelStart}, []string{"ParallelStart"}},
+		{Record{Kind: KindParallelEnd}, []string{"ParallelEnd"}},
+		{Record{Kind: KindBarrier}, []string{"Barrier"}},
+		{Record{Kind: KindCriticalWait, Sync: 3}, []string{"CriticalWait", "3"}},
+		{Record{Kind: KindCriticalSignal, Sync: 3}, []string{"CriticalSignal", "3"}},
+		{Record{Kind: KindIPCSet, IPCMilli: 1200}, []string{"IPCSet", "1.200"}},
+		{Record{Kind: KindEnd}, []string{"End"}},
+	}
+	for _, c := range cases {
+		s := c.rec.String()
+		for _, want := range c.want {
+			if !strings.Contains(s, want) {
+				t.Errorf("%v.String() = %q, missing %q", c.rec.Kind, s, want)
+			}
+		}
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind should format numerically")
+	}
+}
