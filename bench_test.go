@@ -12,6 +12,9 @@
 package sharedicache
 
 import (
+	"context"
+	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -51,7 +54,7 @@ func BenchmarkFig01_AmdahlACMP(b *testing.B) {
 	r := runner(b)
 	var cross float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig1(r)
+		res, err := experiments.Fig1(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +67,7 @@ func BenchmarkFig02_BasicBlocks(b *testing.B) {
 	r := runner(b)
 	var serial, parallel float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig2(r)
+		res, err := experiments.Fig2(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +81,7 @@ func BenchmarkFig03_MPKI(b *testing.B) {
 	r := runner(b)
 	var serial, parallel float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3(r)
+		res, err := experiments.Fig3(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +95,7 @@ func BenchmarkFig04_Sharing(b *testing.B) {
 	r := runner(b)
 	var static, dynamic float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(r)
+		res, err := experiments.Fig4(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +109,7 @@ func BenchmarkTable1_Config(b *testing.B) {
 	r := runner(b)
 	var rows int
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.TableI(r)
+		res, err := experiments.TableI(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +122,7 @@ func BenchmarkFig07_NaiveSharing(b *testing.B) {
 	r := runner(b)
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7(r)
+		res, err := experiments.Fig7(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,7 +135,7 @@ func BenchmarkFig08_CPIStack(b *testing.B) {
 	r := runner(b)
 	var maxBus float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8(r)
+		res, err := experiments.Fig8(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +153,7 @@ func BenchmarkFig09_AccessRatio(b *testing.B) {
 	r := runner(b)
 	var lb2, lb8 float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9(r)
+		res, err := experiments.Fig9(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +171,7 @@ func BenchmarkFig10_Tradeoff(b *testing.B) {
 	r := runner(b)
 	var naive, moreLB, moreBW float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig10(r)
+		res, err := experiments.Fig10(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +186,7 @@ func BenchmarkFig11_SharedMPKI(b *testing.B) {
 	r := runner(b)
 	var reduction float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig11(r)
+		res, err := experiments.Fig11(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,7 +199,7 @@ func BenchmarkFig12_EnergyArea(b *testing.B) {
 	r := runner(b)
 	var time, energy, area float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig12(r)
+		res, err := experiments.Fig12(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -215,7 +218,7 @@ func BenchmarkFig13_AllShared(b *testing.B) {
 	r := runner(b)
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig13(r)
+		res, err := experiments.Fig13(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -239,7 +242,7 @@ func BenchmarkExtA_Scalability(b *testing.B) {
 	}
 	var limit1, limit2 int
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.ExtScale(r)
+		res, err := experiments.ExtScale(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -250,12 +253,62 @@ func BenchmarkExtA_Scalability(b *testing.B) {
 	b.ReportMetric(float64(limit2), "max-workers-2bus")
 }
 
+// BenchmarkCampaignParallel regenerates the full default figure
+// campaign (every registry experiment) from a cold cache at several
+// Parallelism levels. On a 4+ core machine the parallelism=4 case
+// should be >= 2x faster than parallelism=1; the fig7-worst metric is
+// asserted bit-identical across levels, so the speedup is free of
+// result drift.
+func BenchmarkCampaignParallel(b *testing.B) {
+	campaign := func(b *testing.B, par int) *experiments.Fig7Result {
+		opts := experiments.DefaultOptions()
+		opts.Instructions = 60_000
+		opts.CharInstructions = 1_200_000
+		opts.Benchmarks = benchBenchmarks
+		opts.Parallelism = par
+		r, err := experiments.NewRunner(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fig7 *experiments.Fig7Result
+		for _, e := range experiments.All() {
+			res, err := e.Run(context.Background(), r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if f, ok := res.(*experiments.Fig7Result); ok {
+				fig7 = f
+			}
+		}
+		return fig7
+	}
+	var mu sync.Mutex
+	reference := map[int]*experiments.Fig7Result{}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			var fig7 *experiments.Fig7Result
+			for i := 0; i < b.N; i++ {
+				fig7 = campaign(b, par)
+			}
+			mu.Lock()
+			reference[par] = fig7
+			if p1 := reference[1]; p1 != nil && !reflect.DeepEqual(p1, fig7) {
+				mu.Unlock()
+				b.Fatalf("parallelism=%d produced different Fig7 results than parallelism=1", par)
+			}
+			mu.Unlock()
+			_, worst := fig7.Worst()
+			b.ReportMetric(worst, "fig7-worst")
+		})
+	}
+}
+
 func BenchmarkExtB_ColdPrefetch(b *testing.B) {
 	r := runner(b)
 	var best float64
 	var bestName string
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.ExtCold(r)
+		res, err := experiments.ExtCold(context.Background(), r)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,19 +6,24 @@
 //
 //	acmpsim -bench FT -org worker-shared -cpc 8 -icache 16 -lb 4 -buses 2
 //
-// Traces are synthesised in-process by default; pass -traces DIR to
+// Traces are synthesised in-process by default and run through the
+// experiments engine (so Ctrl-C aborts cleanly); pass -traces DIR to
 // replay binary trace files produced by cmd/tracegen instead (the
 // paper's Fig 6 flow: trace once, simulate many configurations).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"sharedicache/internal/core"
+	"sharedicache/internal/experiments"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
 )
@@ -74,6 +79,30 @@ func main() {
 		fatal(err)
 	}
 
+	if *traces == "" {
+		// The synthesised path is a one-point campaign through the
+		// experiments engine: the Runner synthesises the workload,
+		// prewarms and simulates, and ctx aborts cleanly on Ctrl-C.
+		opts := experiments.DefaultOptions()
+		opts.Workers = *workers
+		opts.Instructions = *n
+		opts.Seed = *seed
+		opts.Prewarm = !*cold
+		opts.Benchmarks = []string{*bench}
+		runner, err := experiments.NewRunner(opts)
+		if err != nil {
+			fatal(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		results, err := runner.RunAll(ctx, experiments.Point{Bench: *bench, Cfg: cfg})
+		if err != nil {
+			fatal(err)
+		}
+		report(results[0])
+		return
+	}
+
 	w, err := synth.New(p, synth.Config{Workers: *workers, MasterInstructions: *n, Seed: *seed})
 	if err != nil {
 		fatal(err)
@@ -83,17 +112,13 @@ func main() {
 	l2 := make([][]uint64, w.NumThreads())
 	var closers []*os.File
 	for i := range srcs {
-		if *traces != "" {
-			path := filepath.Join(*traces, fmt.Sprintf("%s.t%02d.trace", *bench, i))
-			f, err := os.Open(path)
-			if err != nil {
-				fatal(fmt.Errorf("trace replay: %w (generate with cmd/tracegen)", err))
-			}
-			closers = append(closers, f)
-			srcs[i] = trace.NewReader(bufio.NewReaderSize(f, 1<<20))
-		} else {
-			srcs[i] = w.Source(i)
+		path := filepath.Join(*traces, fmt.Sprintf("%s.t%02d.trace", *bench, i))
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(fmt.Errorf("trace replay: %w (generate with cmd/tracegen)", err))
 		}
+		closers = append(closers, f)
+		srcs[i] = trace.NewReader(bufio.NewReaderSize(f, 1<<20))
 		ic[i] = w.WarmLines(i, cfg.ICache.LineBytes)
 		l2[i] = w.L2WarmLines(i, cfg.Mem.L2.LineBytes)
 	}
@@ -162,6 +187,10 @@ func report(r *core.Result) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "acmpsim: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "acmpsim:", err)
 	os.Exit(1)
 }

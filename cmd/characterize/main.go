@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	characterize [-n instr] [-bench BT,CG] [-workers 8]
+//	characterize [-n instr] [-bench BT,CG] [-workers 8] [-par p]
+//
+// Benchmarks are characterised in parallel across -par goroutines
+// (default: all cores); Ctrl-C aborts the remaining benchmarks.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"sharedicache/internal/experiments"
@@ -23,6 +29,7 @@ func main() {
 		workers = flag.Int("workers", 8, "worker thread count")
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 24)")
 		seed    = flag.Uint64("seed", 1, "synthesis seed")
+		par     = flag.Int("par", 0, "max concurrently characterised benchmarks (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -30,6 +37,7 @@ func main() {
 	opts.Workers = *workers
 	opts.Seed = *seed
 	opts.CharInstructions = *n
+	opts.Parallelism = *par
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -38,19 +46,22 @@ func main() {
 		fatal(err)
 	}
 
-	fig2, err := experiments.Fig2(runner)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fig2, err := experiments.Fig2(ctx, runner)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(fig2.Table().String())
 
-	fig3, err := experiments.Fig3(runner)
+	fig3, err := experiments.Fig3(ctx, runner)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(fig3.Table().String())
 
-	fig4, err := experiments.Fig4(runner)
+	fig4, err := experiments.Fig4(ctx, runner)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,6 +69,10 @@ func main() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "characterize: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "characterize:", err)
 	os.Exit(1)
 }

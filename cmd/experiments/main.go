@@ -3,17 +3,21 @@
 // Usage:
 //
 //	experiments [-fig all|fig1|...|fig13|table1] [-n instr] [-workers n]
-//	            [-bench BT,CG,...] [-seed s] [-cold] [-list]
+//	            [-bench BT,CG,...] [-seed s] [-cold] [-par p] [-list]
 //
 // Each figure prints as an aligned text table whose rows/series match
-// the paper's plot. See EXPERIMENTS.md for the paper-vs-measured
-// record.
+// the paper's plot. Simulations fan out across -par goroutines
+// (default: all cores); Ctrl-C aborts the remaining design points
+// cleanly. See EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -28,6 +32,7 @@ func main() {
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 24)")
 		seed    = flag.Uint64("seed", 0, "workload synthesis seed (0 = default)")
 		cold    = flag.Bool("cold", false, "disable steady-state cache prewarming for timing runs")
+		par     = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		format  = flag.String("format", "text", "output format: text, csv, json")
 		chart   = flag.Int("chart", -1, "also render column N (0-based) as an ASCII bar chart")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
@@ -54,6 +59,9 @@ func main() {
 	if *cold {
 		opts.Prewarm = false
 	}
+	if *par > 0 {
+		opts.Parallelism = *par
+	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -76,10 +84,17 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	for _, e := range selected {
 		start := time.Now()
-		res, err := e.Run(runner)
+		res, err := e.Run(ctx, runner)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		tbl := res.Table()

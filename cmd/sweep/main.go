@@ -5,16 +5,23 @@
 // plotting or spreadsheet analysis; examples/designspace is the
 // human-readable variant.
 //
+// The whole sweep is declared as one batch plan and fanned out across
+// -par goroutines (default: all cores); Ctrl-C aborts the remaining
+// design points cleanly.
+//
 // Usage:
 //
 //	sweep -bench UA,FT -cpc 2,4,8 -size 16,32 -lb 4 -buses 1,2 > sweep.csv
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -35,6 +42,7 @@ func main() {
 		workers = flag.Int("workers", 8, "worker core count")
 		seed    = flag.Uint64("seed", 1, "synthesis seed")
 		cold    = flag.Bool("cold", false, "cold caches instead of steady state")
+		par     = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -50,29 +58,27 @@ func main() {
 	opts.Seed = *seed
 	opts.Prewarm = !*cold
 	opts.Benchmarks = benches
+	opts.Parallelism = *par
 	runner, err := experiments.NewRunner(opts)
 	if err != nil {
 		fatal(err)
 	}
 	tech := power.Default45nm()
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	_ = w.Write([]string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
-		"time_ratio", "worker_mpki", "access_ratio", "bus_avg_wait",
-		"area_ratio", "energy_ratio"})
-
+	// Declare the full design space up front: per benchmark one private
+	// baseline plus every valid shared point, in CSV emission order.
+	type rowMeta struct {
+		bench             string
+		cpc, kb, lb, bus  int
+		baseIdx, pointIdx int
+	}
+	baseCfg := core.DefaultConfig()
+	baseCfg.Workers = *workers
+	plan := runner.Plan()
+	baseIdx := map[string]int{}
+	var rows []rowMeta
 	for _, b := range benches {
-		baseCfg := core.DefaultConfig()
-		baseCfg.Workers = *workers
-		base, err := runner.Simulate(b, baseCfg)
-		if err != nil {
-			fatal(err)
-		}
-		baseRep, err := tech.Evaluate(clusterFor(baseCfg), activityFor(base))
-		if err != nil {
-			fatal(err)
-		}
+		baseIdx[b] = plan.Add(b, baseCfg)
 		for _, cpc := range ints(t(*cpcs)) {
 			if *workers%cpc != 0 || cpc < 2 {
 				continue
@@ -90,29 +96,54 @@ func main() {
 						if err := cfg.Validate(); err != nil {
 							continue
 						}
-						res, err := runner.Simulate(b, cfg)
-						if err != nil {
-							fatal(err)
-						}
-						rep, err := tech.Evaluate(clusterFor(cfg), activityFor(res))
-						if err != nil {
-							fatal(err)
-						}
-						_, er, ar := rep.Relative(baseRep)
-						_ = w.Write([]string{
-							b,
-							strconv.Itoa(cpc), strconv.Itoa(kb),
-							strconv.Itoa(lb), strconv.Itoa(bus),
-							f(float64(res.Cycles) / float64(base.Cycles)),
-							f(res.WorkerMPKI()),
-							f(res.WorkerAccessRatio()),
-							f(res.Bus.AvgWait()),
-							f(ar), f(er),
+						rows = append(rows, rowMeta{
+							bench: b, cpc: cpc, kb: kb, lb: lb, bus: bus,
+							baseIdx: baseIdx[b], pointIdx: plan.Add(b, cfg),
 						})
 					}
 				}
 			}
 		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	_ = w.Write([]string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
+		"time_ratio", "worker_mpki", "access_ratio", "bus_avg_wait",
+		"area_ratio", "energy_ratio"})
+
+	baseReps := map[string]power.Report{}
+	for _, b := range benches {
+		rep, err := tech.Evaluate(clusterFor(baseCfg), activityFor(results[baseIdx[b]]))
+		if err != nil {
+			fatal(err)
+		}
+		baseReps[b] = rep
+	}
+	for _, m := range rows {
+		base, res := results[m.baseIdx], results[m.pointIdx]
+		rep, err := tech.Evaluate(clusterFor(res.Config), activityFor(res))
+		if err != nil {
+			fatal(err)
+		}
+		_, er, ar := rep.Relative(baseReps[m.bench])
+		_ = w.Write([]string{
+			m.bench,
+			strconv.Itoa(m.cpc), strconv.Itoa(m.kb),
+			strconv.Itoa(m.lb), strconv.Itoa(m.bus),
+			f(float64(res.Cycles) / float64(base.Cycles)),
+			f(res.WorkerMPKI()),
+			f(res.WorkerAccessRatio()),
+			f(res.Bus.AvgWait()),
+			f(ar), f(er),
+		})
 	}
 }
 
@@ -168,6 +199,10 @@ func ints(parts []string) []int {
 func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "sweep: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
 }

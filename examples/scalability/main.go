@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := e.Run(runner)
+	res, err := e.Run(context.Background(), runner)
 	if err != nil {
 		log.Fatal(err)
 	}

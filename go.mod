@@ -1,0 +1,3 @@
+module sharedicache
+
+go 1.24

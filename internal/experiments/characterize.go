@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sharedicache/internal/cachesim"
@@ -47,13 +48,14 @@ type Fig2Result struct {
 	Rows []Fig2Row
 }
 
-// Fig2 characterises basic-block lengths for all selected benchmarks.
-func Fig2(r *Runner) (*Fig2Result, error) {
-	out := &Fig2Result{}
-	for _, p := range r.opts.profiles() {
+// Fig2 characterises basic-block lengths for all selected benchmarks,
+// walking one benchmark's traces per engine goroutine.
+func Fig2(ctx context.Context, r *Runner) (*Fig2Result, error) {
+	out := &Fig2Result{Rows: make([]Fig2Row, len(r.opts.profiles()))}
+	err := forEachProfile(ctx, r, func(ctx context.Context, i int, p synth.Profile) error {
 		w, err := r.charWorkload(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var serBytes, serBlocks, parBytes, parBlocks uint64
 		err = sectionWalk(w.Source(0), func(rec trace.Record, inParallel bool) {
@@ -66,7 +68,7 @@ func Fig2(r *Runner) (*Fig2Result, error) {
 			}
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig2Row{Benchmark: p.Name}
 		if serBlocks > 0 {
@@ -75,7 +77,11 @@ func Fig2(r *Runner) (*Fig2Result, error) {
 		if parBlocks > 0 {
 			row.ParallelBB = float64(parBytes) / float64(parBlocks)
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -116,14 +122,16 @@ type Fig3Result struct {
 	Rows []Fig3Row
 }
 
-// Fig3 measures MPKI per section for all selected benchmarks.
-func Fig3(r *Runner) (*Fig3Result, error) {
+// Fig3 measures MPKI per section for all selected benchmarks, one
+// benchmark (with its own standalone cache model) per engine
+// goroutine.
+func Fig3(ctx context.Context, r *Runner) (*Fig3Result, error) {
 	geom := cachesim.Config{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8}
-	out := &Fig3Result{}
-	for _, p := range r.opts.profiles() {
+	out := &Fig3Result{Rows: make([]Fig3Row, len(r.opts.profiles()))}
+	err := forEachProfile(ctx, r, func(ctx context.Context, i int, p synth.Profile) error {
 		w, err := r.charWorkload(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cache := cachesim.New(geom)
 		for _, line := range w.WarmLines(0, geom.LineBytes) {
@@ -148,7 +156,7 @@ func Fig3(r *Runner) (*Fig3Result, error) {
 			}
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig3Row{Benchmark: p.Name}
 		if serInstr > 0 {
@@ -157,7 +165,11 @@ func Fig3(r *Runner) (*Fig3Result, error) {
 		if parInstr > 0 {
 			row.ParallelMPKI = float64(parMiss) / float64(parInstr) * 1000
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -198,13 +210,14 @@ type Fig4Result struct {
 	Rows []Fig4Row
 }
 
-// Fig4 measures code sharing for all selected benchmarks.
-func Fig4(r *Runner) (*Fig4Result, error) {
-	out := &Fig4Result{}
-	for _, p := range r.opts.profiles() {
+// Fig4 measures code sharing for all selected benchmarks, one
+// benchmark (with its own block map) per engine goroutine.
+func Fig4(ctx context.Context, r *Runner) (*Fig4Result, error) {
+	out := &Fig4Result{Rows: make([]Fig4Row, len(r.opts.profiles()))}
+	err := forEachProfile(ctx, r, func(ctx context.Context, i int, p synth.Profile) error {
 		w, err := r.charWorkload(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		n := r.opts.Workers
 		// Per-block dynamic instruction counts and executor sets, over
@@ -233,7 +246,7 @@ func Fig4(r *Runner) (*Fig4Result, error) {
 				}
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		var statShared, statTotal, dynShared, dynTotal uint64
@@ -252,7 +265,11 @@ func Fig4(r *Runner) (*Fig4Result, error) {
 		if dynTotal > 0 {
 			row.DynamicShared = 100 * float64(dynShared) / float64(dynTotal)
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

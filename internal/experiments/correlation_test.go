@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestFig2Fig9Correlation verifies the cross-figure observation the
 // paper makes in §VI-B: "For almost all of the benchmarks where the
@@ -23,11 +26,11 @@ func TestFig2Fig9Correlation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig2, err := Fig2(r)
+	fig2, err := Fig2(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig9, err := Fig9(r)
+	fig9, err := Fig9(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sharedicache/internal/core"
@@ -74,7 +75,7 @@ type Fig12Result struct {
 
 // Fig12 evaluates the baseline plus the four shared design points
 // (4/8 line buffers x single/double bus).
-func Fig12(r *Runner) (*Fig12Result, error) {
+func Fig12(ctx context.Context, r *Runner) (*Fig12Result, error) {
 	tech := power.Default45nm()
 	out := &Fig12Result{Tech: tech}
 
@@ -95,19 +96,26 @@ func Fig12(r *Runner) (*Fig12Result, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("experiments: no benchmarks selected")
 	}
+	plan := r.Plan()
+	for _, p := range profiles {
+		for _, d := range designs {
+			plan.Add(p.Name, d.cfg)
+		}
+	}
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
 
 	// Per-design accumulators of per-benchmark normalised metrics.
 	times := make([][]float64, len(designs))
 	energies := make([][]float64, len(designs))
 	areas := make([]float64, len(designs))
 
-	for _, p := range profiles {
+	for pi := range profiles {
 		var baseRep power.Report
 		for di, d := range designs {
-			res, err := r.Simulate(p.Name, d.cfg)
-			if err != nil {
-				return nil, err
-			}
+			res := results[pi*len(designs)+di]
 			rep, err := tech.Evaluate(clusterFor(d.cfg), activityFor(res))
 			if err != nil {
 				return nil, err

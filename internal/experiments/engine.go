@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/synth"
+)
+
+// Point is one design point of a campaign plan: a benchmark run on one
+// ACMP configuration. Cold forces prewarming off for this point (the
+// Fig 11 / Ext B miss-count runs); otherwise the campaign's Prewarm
+// option applies.
+type Point struct {
+	Bench string
+	Cfg   core.Config
+	Cold  bool
+}
+
+// Plan is an ordered batch of design points. Figure generators declare
+// their full design-point set up front, run it with RunAll — which
+// fans the points out across the campaign's Parallelism goroutines —
+// and then assemble rows from the returned results, whose order
+// matches the plan (and hence the paper's plotting order).
+type Plan struct {
+	r      *Runner
+	points []Point
+}
+
+// Plan starts a batch plan over the runner, seeded with any points
+// given.
+func (r *Runner) Plan(points ...Point) *Plan {
+	return &Plan{r: r, points: points}
+}
+
+// Add appends a prewarm-honouring design point and returns its result
+// index.
+func (p *Plan) Add(bench string, cfg core.Config) int {
+	p.points = append(p.points, Point{Bench: bench, Cfg: cfg})
+	return len(p.points) - 1
+}
+
+// AddCold appends a forced-cold design point and returns its result
+// index.
+func (p *Plan) AddCold(bench string, cfg core.Config) int {
+	p.points = append(p.points, Point{Bench: bench, Cfg: cfg, Cold: true})
+	return len(p.points) - 1
+}
+
+// Len reports how many points the plan holds.
+func (p *Plan) Len() int { return len(p.points) }
+
+// RunAll executes every point of the plan, at most Options.Parallelism
+// simulations at a time, and returns the results in plan order. Points
+// already in the run cache are free; points shared with a concurrently
+// running plan are simulated once and the result shared. The first
+// failing point cancels the remaining work and its error — carrying
+// the benchmark and configuration — is returned. If ctx is cancelled,
+// RunAll stops feeding work and returns ctx.Err().
+func (p *Plan) RunAll(ctx context.Context) ([]*core.Result, error) {
+	results := make([]*core.Result, len(p.points))
+	err := fanOut(ctx, len(p.points), p.r.opts.parallelism(), func(ctx context.Context, i int) error {
+		pt := p.points[i]
+		prewarm := p.r.opts.Prewarm && !pt.Cold
+		res, err := p.r.simulate(ctx, pt.Bench, pt.Cfg, prewarm)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunAll is Plan+RunAll in one call for ad-hoc batches.
+func (r *Runner) RunAll(ctx context.Context, points ...Point) ([]*core.Result, error) {
+	return r.Plan(points...).RunAll(ctx)
+}
+
+// forEachProfile runs fn once per selected profile, at most
+// Options.Parallelism invocations at a time. It is the fan-out used by
+// the trace-characterisation figures (2-4), whose work is walking
+// traces rather than running cached simulations: fn fills a
+// caller-indexed slot, keeping row order equal to plotting order. The
+// first error cancels the remaining profiles and is returned wrapped
+// with the benchmark name.
+func forEachProfile(ctx context.Context, r *Runner, fn func(ctx context.Context, i int, p synth.Profile) error) error {
+	profiles := r.opts.profiles()
+	return fanOut(ctx, len(profiles), r.opts.parallelism(), func(ctx context.Context, i int) error {
+		if err := fn(ctx, i, profiles[i]); err != nil {
+			return fmt.Errorf("experiments: %s: %w", profiles[i].Name, err)
+		}
+		return nil
+	})
+}
+
+// fanOut is the engine's worker pool: it feeds indexes 0..n-1 to at
+// most the given number of goroutines, each running fn. The first
+// error cancels the remaining work and is returned; a cancelled ctx
+// stops the feed and surfaces ctx.Err().
+func fanOut(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+						cancel()
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -106,7 +107,7 @@ func TestRunnerCachesRuns(t *testing.T) {
 
 func TestFig1Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig1(r)
+	res, err := Fig1(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFig1Shape(t *testing.T) {
 
 func TestFig2Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig2(r)
+	res, err := Fig2(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestFig2Shape(t *testing.T) {
 
 func TestFig3Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig3(r)
+	res, err := Fig3(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestFig3Shape(t *testing.T) {
 
 func TestFig4Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig4(r)
+	res, err := Fig4(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestFig4Shape(t *testing.T) {
 
 func TestTableIValues(t *testing.T) {
 	r := testRunner(t)
-	res, err := TableI(r)
+	res, err := TableI(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestTableIValues(t *testing.T) {
 
 func TestFig7Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig7(r)
+	res, err := Fig7(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestFig7Shape(t *testing.T) {
 
 func TestFig8Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig8(r)
+	res, err := Fig8(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestFig8Shape(t *testing.T) {
 
 func TestFig9Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig9(r)
+	res, err := Fig9(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestFig10Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig10(r)
+	res, err := Fig10(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestFig10Shape(t *testing.T) {
 
 func TestFig11Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig11(r)
+	res, err := Fig11(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +345,7 @@ func TestFig11Shape(t *testing.T) {
 
 func TestFig12Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig12(r)
+	res, err := Fig12(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestFig12Shape(t *testing.T) {
 
 func TestFig13Shape(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig13(r)
+	res, err := Fig13(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +468,7 @@ func TestRegistryRunsAll(t *testing.T) {
 	}
 	r := testRunner(t)
 	for _, e := range All() {
-		res, err := e.Run(r)
+		res, err := e.Run(context.Background(), r)
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
@@ -483,7 +484,7 @@ func TestRegistryRunsAll(t *testing.T) {
 
 func TestFig13SlopeFinite(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig13(r)
+	res, err := Fig13(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

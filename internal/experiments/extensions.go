@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sharedicache/internal/stats"
@@ -60,10 +61,11 @@ type ExtScaleResult struct {
 // ExtScale sweeps the worker count with cpc = workers (one shared
 // I-cache for the whole cluster) and 1, 2 or 4 buses. Each worker
 // count uses its own sub-campaign (the workload shape depends on the
-// thread count).
-func ExtScale(r *Runner) (*ExtScaleResult, error) {
+// thread count), planned up front so the whole sub-sweep fans out.
+func ExtScale(ctx context.Context, r *Runner) (*ExtScaleResult, error) {
 	benches := r.opts.extBenchmarks()
 	out := &ExtScaleResult{Benchmarks: benches}
+	busCounts := []int{1, 2, 4}
 	for _, workers := range []int{2, 4, 8, 12, 16} {
 		opts := r.opts
 		opts.Workers = workers
@@ -72,19 +74,25 @@ func ExtScale(r *Runner) (*ExtScaleResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Per bench: the private baseline followed by the three shared
+		// bus variants.
+		plan := sub.Plan()
+		for _, b := range benches {
+			plan.Add(b, baselineConfig())
+			for _, buses := range busCounts {
+				plan.Add(b, sharedConfig(workers, 16, 4, buses))
+			}
+		}
+		results, err := plan.RunAll(ctx)
+		if err != nil {
+			return nil, err
+		}
 		row := ExtScaleRow{Workers: workers}
-		for _, buses := range []int{1, 2, 4} {
+		for bi, buses := range busCounts {
 			var ratios []float64
-			for _, b := range benches {
-				base, err := sub.Simulate(b, baselineConfig())
-				if err != nil {
-					return nil, err
-				}
-				cfg := sharedConfig(workers, 16, 4, buses)
-				res, err := sub.Simulate(b, cfg)
-				if err != nil {
-					return nil, err
-				}
+			for i := range benches {
+				base := results[i*(len(busCounts)+1)]
+				res := results[i*(len(busCounts)+1)+1+bi]
 				ratios = append(ratios, float64(res.Cycles)/float64(base.Cycles))
 			}
 			mean := stats.Mean(ratios)
@@ -155,17 +163,20 @@ type ExtColdResult struct {
 
 // ExtCold compares cold-cache execution time of the shared design
 // against the cold private baseline for every selected benchmark.
-func ExtCold(r *Runner) (*ExtColdResult, error) {
+func ExtCold(ctx context.Context, r *Runner) (*ExtColdResult, error) {
+	profiles := r.opts.profiles()
+	plan := r.Plan()
+	for _, p := range profiles {
+		plan.AddCold(p.Name, baselineConfig())
+		plan.AddCold(p.Name, sharedConfig(8, 32, 4, 2))
+	}
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := &ExtColdResult{}
-	for _, p := range r.opts.profiles() {
-		base, err := r.SimulateCold(p.Name, baselineConfig())
-		if err != nil {
-			return nil, err
-		}
-		shared, err := r.SimulateCold(p.Name, sharedConfig(8, 32, 4, 2))
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range profiles {
+		base, shared := results[2*i], results[2*i+1]
 		out.Rows = append(out.Rows, ExtColdRow{
 			Benchmark:   p.Name,
 			PrivateMPKI: base.WorkerMPKI(),

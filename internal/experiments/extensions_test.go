@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -31,7 +32,7 @@ func TestExtScaleShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ExtScale(r)
+	res, err := ExtScale(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestExtScaleShape(t *testing.T) {
 
 func TestExtColdShape(t *testing.T) {
 	r := testRunner(t)
-	res, err := ExtCold(r)
+	res, err := ExtCold(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sharedicache/internal/amdahl"
@@ -23,8 +24,9 @@ type Fig1Result struct {
 	Crossover float64
 }
 
-// Fig1 evaluates the model (no simulation involved).
-func Fig1(r *Runner) (*Fig1Result, error) {
+// Fig1 evaluates the model (no simulation involved; ctx is accepted
+// for registry uniformity).
+func Fig1(ctx context.Context, r *Runner) (*Fig1Result, error) {
 	designs := amdahl.PaperDesigns()
 	fractions := amdahl.Fig1Fractions()
 	out := &Fig1Result{Fractions: fractions, Designs: designs}
@@ -88,8 +90,9 @@ type coreConfigView struct {
 	L2Latency     int
 }
 
-// TableI returns the configuration defaults, validating them first.
-func TableI(r *Runner) (*TableIResult, error) {
+// TableI returns the configuration defaults, validating them first
+// (no simulation involved; ctx is accepted for registry uniformity).
+func TableI(ctx context.Context, r *Runner) (*TableIResult, error) {
 	base := baselineConfig()
 	shared := sharedConfig(8, 16, 4, 2)
 	for _, cfg := range []struct{ c interface{ Validate() error } }{{base}, {shared}} {

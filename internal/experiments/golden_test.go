@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -34,7 +35,7 @@ func goldenCompare(t *testing.T, name, got string) {
 // Hill-Marty model or the table renderer shows up as a diff.
 func TestGoldenFig1(t *testing.T) {
 	r := testRunner(t)
-	res, err := Fig1(r)
+	res, err := Fig1(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestGoldenFig1(t *testing.T) {
 // TestGoldenTableI pins the Table I configuration rendering.
 func TestGoldenTableI(t *testing.T) {
 	r := testRunner(t)
-	res, err := TableI(r)
+	res, err := TableI(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"sharedicache/internal/core"
 	"sharedicache/internal/stats"
 	"sharedicache/internal/synth"
 )
@@ -27,29 +27,26 @@ type Fig7Result struct {
 }
 
 // Fig7 sweeps cpc in {2,4,8} against the private baseline.
-func Fig7(r *Runner) (*Fig7Result, error) {
-	out := &Fig7Result{}
-	for _, p := range r.opts.profiles() {
-		base, err := r.Simulate(p.Name, baselineConfig())
-		if err != nil {
-			return nil, err
-		}
-		row := Fig7Row{Benchmark: p.Name}
+func Fig7(ctx context.Context, r *Runner) (*Fig7Result, error) {
+	profiles := r.opts.profiles()
+	plan := r.Plan()
+	for _, p := range profiles {
+		plan.Add(p.Name, baselineConfig())
 		for _, cpc := range []int{2, 4, 8} {
-			res, err := r.Simulate(p.Name, sharedConfig(cpc, 32, 4, 1))
-			if err != nil {
-				return nil, err
-			}
-			ratio := float64(res.Cycles) / float64(base.Cycles)
-			switch cpc {
-			case 2:
-				row.CPC2 = ratio
-			case 4:
-				row.CPC4 = ratio
-			case 8:
-				row.CPC8 = ratio
-			}
+			plan.Add(p.Name, sharedConfig(cpc, 32, 4, 1))
 		}
+	}
+	res, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7Result{}
+	for i, p := range profiles {
+		base := res[4*i]
+		row := Fig7Row{Benchmark: p.Name}
+		row.CPC2 = float64(res[4*i+1].Cycles) / float64(base.Cycles)
+		row.CPC4 = float64(res[4*i+2].Cycles) / float64(base.Cycles)
+		row.CPC8 = float64(res[4*i+3].Cycles) / float64(base.Cycles)
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
@@ -104,17 +101,20 @@ type Fig8Result struct {
 // The baseline bucket is the per-benchmark baseline worker CPI; each
 // extra bucket is the additional stall cycles the shared design pays,
 // as a fraction of baseline cycles.
-func Fig8(r *Runner) (*Fig8Result, error) {
+func Fig8(ctx context.Context, r *Runner) (*Fig8Result, error) {
+	profiles := r.opts.profiles()
+	plan := r.Plan()
+	for _, p := range profiles {
+		plan.Add(p.Name, baselineConfig())
+		plan.Add(p.Name, sharedConfig(8, 32, 4, 1))
+	}
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig8Result{}
-	for _, p := range r.opts.profiles() {
-		base, err := r.Simulate(p.Name, baselineConfig())
-		if err != nil {
-			return nil, err
-		}
-		res, err := r.Simulate(p.Name, sharedConfig(8, 32, 4, 1))
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range profiles {
+		base, res := results[2*i], results[2*i+1]
 		bs, ss := base.WorkerStack(), res.WorkerStack()
 		norm := float64(bs.Total())
 		if norm == 0 {
@@ -169,28 +169,28 @@ type Fig9Result struct {
 // Fig9 sweeps the per-core line buffer count on the baseline
 // organisation (the access ratio is a property of code and front-end,
 // not of where the I-cache lives).
-func Fig9(r *Runner) (*Fig9Result, error) {
-	out := &Fig9Result{}
-	for _, p := range r.opts.profiles() {
-		row := Fig9Row{Benchmark: p.Name}
+func Fig9(ctx context.Context, r *Runner) (*Fig9Result, error) {
+	profiles := r.opts.profiles()
+	plan := r.Plan()
+	for _, p := range profiles {
 		for _, lb := range []int{2, 4, 8} {
 			cfg := baselineConfig()
 			cfg.LineBuffers = lb
-			res, err := r.Simulate(p.Name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			ratio := 100 * res.WorkerAccessRatio()
-			switch lb {
-			case 2:
-				row.LB2 = ratio
-			case 4:
-				row.LB4 = ratio
-			case 8:
-				row.LB8 = ratio
-			}
+			plan.Add(p.Name, cfg)
 		}
-		out.Rows = append(out.Rows, row)
+	}
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{}
+	for i, p := range profiles {
+		out.Rows = append(out.Rows, Fig9Row{
+			Benchmark: p.Name,
+			LB2:       100 * results[3*i].WorkerAccessRatio(),
+			LB4:       100 * results[3*i+1].WorkerAccessRatio(),
+			LB8:       100 * results[3*i+2].WorkerAccessRatio(),
+		})
 	}
 	return out, nil
 }
@@ -221,31 +221,28 @@ type Fig10Result struct {
 }
 
 // Fig10 compares the two congestion remedies.
-func Fig10(r *Runner) (*Fig10Result, error) {
+func Fig10(ctx context.Context, r *Runner) (*Fig10Result, error) {
+	profiles := r.opts.profiles()
+	plan := r.Plan()
+	for _, p := range profiles {
+		plan.Add(p.Name, baselineConfig())
+		plan.Add(p.Name, sharedConfig(8, 16, 4, 1))
+		plan.Add(p.Name, sharedConfig(8, 16, 8, 1))
+		plan.Add(p.Name, sharedConfig(8, 16, 4, 2))
+	}
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig10Result{}
-	for _, p := range r.opts.profiles() {
-		base, err := r.Simulate(p.Name, baselineConfig())
-		if err != nil {
-			return nil, err
-		}
-		norm := func(cfg core.Config) (float64, error) {
-			res, err := r.Simulate(p.Name, cfg)
-			if err != nil {
-				return 0, err
-			}
-			return float64(res.Cycles) / float64(base.Cycles), nil
-		}
-		row := Fig10Row{Benchmark: p.Name}
-		if row.Naive, err = norm(sharedConfig(8, 16, 4, 1)); err != nil {
-			return nil, err
-		}
-		if row.MoreLB, err = norm(sharedConfig(8, 16, 8, 1)); err != nil {
-			return nil, err
-		}
-		if row.MoreBandwk, err = norm(sharedConfig(8, 16, 4, 2)); err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+	for i, p := range profiles {
+		base := float64(results[4*i].Cycles)
+		out.Rows = append(out.Rows, Fig10Row{
+			Benchmark:  p.Name,
+			Naive:      float64(results[4*i+1].Cycles) / base,
+			MoreLB:     float64(results[4*i+2].Cycles) / base,
+			MoreBandwk: float64(results[4*i+3].Cycles) / base,
+		})
 	}
 	return out, nil
 }
@@ -290,21 +287,21 @@ type Fig11Result struct {
 // Fig11 compares shared and private worker miss rates. The shared
 // configurations use the double bus so that timing artefacts do not
 // perturb miss counts.
-func Fig11(r *Runner) (*Fig11Result, error) {
+func Fig11(ctx context.Context, r *Runner) (*Fig11Result, error) {
+	profiles := r.opts.profiles()
+	plan := r.Plan()
+	for _, p := range profiles {
+		plan.AddCold(p.Name, baselineConfig())
+		plan.AddCold(p.Name, sharedConfig(8, 32, 4, 2))
+		plan.AddCold(p.Name, sharedConfig(8, 16, 4, 2))
+	}
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig11Result{}
-	for _, p := range r.opts.profiles() {
-		base, err := r.SimulateCold(p.Name, baselineConfig())
-		if err != nil {
-			return nil, err
-		}
-		s32, err := r.SimulateCold(p.Name, sharedConfig(8, 32, 4, 2))
-		if err != nil {
-			return nil, err
-		}
-		s16, err := r.SimulateCold(p.Name, sharedConfig(8, 16, 4, 2))
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range profiles {
+		base, s32, s16 := results[3*i], results[3*i+1], results[3*i+2]
 		row := Fig11Row{Benchmark: p.Name, PrivateMPKI: base.WorkerMPKI()}
 		if row.PrivateMPKI > 0 {
 			row.Shared32Pct = 100 * s32.WorkerMPKI() / row.PrivateMPKI
@@ -387,33 +384,29 @@ type Fig13Result struct {
 
 // Fig13 runs the §VI-E comparison. Rows are sorted by serial fraction
 // to match the figure's x-axis.
-func Fig13(r *Runner) (*Fig13Result, error) {
+func Fig13(ctx context.Context, r *Runner) (*Fig13Result, error) {
+	profiles := r.opts.profiles()
+	plan := r.Plan()
+	for _, p := range profiles {
+		plan.Add(p.Name, sharedConfig(8, 32, 4, 2))
+		plan.Add(p.Name, allSharedConfig(32, 4, 2))
+		plan.Add(p.Name, sharedConfig(8, 32, 4, 1))
+		plan.Add(p.Name, allSharedConfig(32, 4, 1))
+	}
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig13Result{}
-	for _, p := range r.opts.profiles() {
-		ws, err := r.Simulate(p.Name, sharedConfig(8, 32, 4, 2))
-		if err != nil {
-			return nil, err
-		}
-		as, err := r.Simulate(p.Name, allSharedConfig(32, 4, 2))
-		if err != nil {
-			return nil, err
-		}
-		ws1, err := r.Simulate(p.Name, sharedConfig(8, 32, 4, 1))
-		if err != nil {
-			return nil, err
-		}
-		as1, err := r.Simulate(p.Name, allSharedConfig(32, 4, 1))
-		if err != nil {
-			return nil, err
-		}
-		row := Fig13Row{
+	for i, p := range profiles {
+		ws, as, ws1, as1 := results[4*i], results[4*i+1], results[4*i+2], results[4*i+3]
+		out.Rows = append(out.Rows, Fig13Row{
 			Benchmark:  p.Name,
 			SerialFrac: p.SerialFrac,
 			Ratio:      float64(as.Cycles) / float64(ws.Cycles),
 			SingleBus:  float64(as1.Cycles) / float64(ws1.Cycles),
 			Group:      classifyFig13(p),
-		}
-		out.Rows = append(out.Rows, row)
+		})
 	}
 	sort.Slice(out.Rows, func(i, j int) bool {
 		return out.Rows[i].SerialFrac < out.Rows[j].SerialFrac

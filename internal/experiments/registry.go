@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,44 +19,42 @@ type Experiment struct {
 	ID string
 	// Title is a one-line description.
 	Title string
-	// Run executes the experiment.
-	Run func(r *Runner) (Renderable, error)
+	// Run executes the experiment: its design points fan out across the
+	// runner's Parallelism and ctx aborts the remaining work.
+	Run func(ctx context.Context, r *Runner) (Renderable, error)
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
-	wrap := func(f func(*Runner) (Renderable, error)) func(*Runner) (Renderable, error) {
-		return f
-	}
 	return []Experiment{
 		{"fig1", "ACMP vs symmetric CMP speedup (Hill-Marty model)",
-			wrap(func(r *Runner) (Renderable, error) { return Fig1(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig1(ctx, r) }},
 		{"fig2", "Basic block length, serial vs parallel",
-			wrap(func(r *Runner) (Renderable, error) { return Fig2(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig2(ctx, r) }},
 		{"fig3", "I-cache MPKI, serial vs parallel (32KB)",
-			wrap(func(r *Runner) (Renderable, error) { return Fig3(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig3(ctx, r) }},
 		{"fig4", "Instruction sharing across threads",
-			wrap(func(r *Runner) (Renderable, error) { return Fig4(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig4(ctx, r) }},
 		{"table1", "Simulated ACMP configuration",
-			wrap(func(r *Runner) (Renderable, error) { return TableI(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return TableI(ctx, r) }},
 		{"fig7", "Naive sharing: normalized execution time",
-			wrap(func(r *Runner) (Renderable, error) { return Fig7(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig7(ctx, r) }},
 		{"fig8", "CPI stack at cpc=8, single bus",
-			wrap(func(r *Runner) (Renderable, error) { return Fig8(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig8(ctx, r) }},
 		{"fig9", "I-cache access ratio by line buffers",
-			wrap(func(r *Runner) (Renderable, error) { return Fig9(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig9(ctx, r) }},
 		{"fig10", "Line buffers vs interconnect bandwidth",
-			wrap(func(r *Runner) (Renderable, error) { return Fig10(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig10(ctx, r) }},
 		{"fig11", "Shared vs private worker MPKI",
-			wrap(func(r *Runner) (Renderable, error) { return Fig11(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig11(ctx, r) }},
 		{"fig12", "Execution time, energy and area",
-			wrap(func(r *Runner) (Renderable, error) { return Fig12(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig12(ctx, r) }},
 		{"fig13", "All-shared vs worker-shared by serial fraction",
-			wrap(func(r *Runner) (Renderable, error) { return Fig13(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig13(ctx, r) }},
 		{"ext-scale", "Extension: sharing-degree scalability sweep",
-			wrap(func(r *Runner) (Renderable, error) { return ExtScale(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return ExtScale(ctx, r) }},
 		{"ext-cold", "Extension: cold-cache regime (sharing as a prefetcher)",
-			wrap(func(r *Runner) (Renderable, error) { return ExtCold(r) })},
+			func(ctx context.Context, r *Runner) (Renderable, error) { return ExtCold(ctx, r) }},
 	}
 }
 

@@ -4,11 +4,24 @@
 // returning a structured result with a Table() renderer; the registry
 // in registry.go exposes them by id to cmd/experiments and the root
 // bench harness.
+//
+// Simulations are executed by a parallel campaign engine: every figure
+// declares its full design-point set up front as a Plan (engine.go)
+// and fans it out across Options.Parallelism worker goroutines, while
+// the Runner's singleflight run cache guarantees each distinct
+// (benchmark, configuration, prewarm) point is simulated exactly once
+// — even when figures sharing design points (e.g. the cpc=8
+// single-bus runs of Figs 7, 8 and 10) run concurrently. Results are
+// deterministic: a campaign at Parallelism 8 produces bit-identical
+// figures to the same campaign at Parallelism 1.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sharedicache/internal/core"
 	"sharedicache/internal/synth"
@@ -40,6 +53,12 @@ type Options struct {
 	// wrap the whole code region, as the real runs do. 0 means
 	// max(Instructions, 2M).
 	CharInstructions uint64
+	// Parallelism bounds how many simulations a Plan runs concurrently
+	// (see Plan.RunAll). 0 means runtime.GOMAXPROCS(0). Results are
+	// independent of this value: workload synthesis and simulation are
+	// deterministic per design point, and results are returned in plan
+	// order.
+	Parallelism int
 }
 
 // DefaultOptions returns the campaign configuration used by
@@ -59,6 +78,14 @@ func (o Options) charInstructions() uint64 {
 	return 2_000_000
 }
 
+// parallelism resolves the concurrent-simulation bound.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Validate reports option errors, including unknown benchmark names.
 func (o Options) Validate() error {
 	if o.Workers < 1 {
@@ -66,6 +93,9 @@ func (o Options) Validate() error {
 	}
 	if o.Instructions < 1000 {
 		return fmt.Errorf("experiments: Instructions = %d below synthesis minimum", o.Instructions)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("experiments: Parallelism = %d must be >= 0", o.Parallelism)
 	}
 	for _, b := range o.Benchmarks {
 		if _, ok := synth.ProfileByName(b); !ok {
@@ -90,14 +120,25 @@ func (o Options) profiles() []synth.Profile {
 	return sel
 }
 
-// Runner caches simulation results so that figures sharing design
-// points (e.g. the cpc=8 single-bus runs of Figs 7, 8 and 10) pay for
-// each simulation once. It is safe for concurrent use.
+// Runner executes and caches simulations for one experiment campaign.
+// The run cache has singleflight semantics: the first caller to ask
+// for a (benchmark, configuration, prewarm) point becomes its leader
+// and simulates it; concurrent callers for the same point block on a
+// per-key latch and share the leader's result, so figures sharing
+// design points (e.g. the cpc=8 single-bus runs of Figs 7, 8 and 10)
+// pay for each simulation exactly once no matter how they overlap.
+// Batches of points are declared with Plan and fanned out across
+// Options.Parallelism goroutines by Plan.RunAll. A Runner is safe for
+// concurrent use.
 type Runner struct {
 	opts Options
 
 	mu   sync.Mutex
-	runs map[runKey]*core.Result
+	runs map[runKey]*runEntry
+
+	// sims counts simulations actually executed (cache misses); the
+	// singleflight regression tests pin it against duplicated work.
+	sims atomic.Int64
 }
 
 type runKey struct {
@@ -106,12 +147,20 @@ type runKey struct {
 	prewarm bool
 }
 
+// runEntry is the singleflight latch for one design point: done is
+// closed once the leader has stored res/err.
+type runEntry struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
 // NewRunner builds a Runner; it errors on invalid options.
 func NewRunner(opts Options) (*Runner, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{opts: opts, runs: map[runKey]*core.Result{}}, nil
+	return &Runner{opts: opts, runs: map[runKey]*runEntry{}}, nil
 }
 
 // Options returns the campaign options.
@@ -139,28 +188,69 @@ func (r *Runner) charWorkload(p synth.Profile) (*synth.Workload, error) {
 // Simulate runs (or returns the cached result of) one benchmark on one
 // ACMP configuration, honouring the campaign's Prewarm option.
 func (r *Runner) Simulate(bench string, cfg core.Config) (*core.Result, error) {
-	return r.simulate(bench, cfg, r.opts.Prewarm)
+	return r.simulate(context.Background(), bench, cfg, r.opts.Prewarm)
 }
 
 // SimulateCold is Simulate with prewarming forced off, for the
 // experiments whose subject is the cold-miss behaviour itself.
 func (r *Runner) SimulateCold(bench string, cfg core.Config) (*core.Result, error) {
-	return r.simulate(bench, cfg, false)
+	return r.simulate(context.Background(), bench, cfg, false)
 }
 
-func (r *Runner) simulate(bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+// SimulateContext is Simulate with cancellation: if ctx is done before
+// the simulation starts (or while waiting on another goroutine's
+// in-flight run of the same point), it returns ctx.Err().
+func (r *Runner) SimulateContext(ctx context.Context, bench string, cfg core.Config) (*core.Result, error) {
+	return r.simulate(ctx, bench, cfg, r.opts.Prewarm)
+}
+
+// simulate resolves one design point through the singleflight cache.
+func (r *Runner) simulate(ctx context.Context, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
 	cfg.Workers = r.opts.Workers
 	key := runKey{bench: bench, cfg: cfg, prewarm: prewarm}
+
 	r.mu.Lock()
-	if res, ok := r.runs[key]; ok {
+	if e, ok := r.runs[key]; ok {
 		r.mu.Unlock()
-		return res, nil
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	// Bail out on a dead context before becoming the key's leader: an
+	// entry is only ever settled with a real result or simulation
+	// error, never with one caller's cancellation, so waiters with
+	// live contexts cannot be poisoned.
+	if err := ctx.Err(); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	e := &runEntry{done: make(chan struct{})}
+	r.runs[key] = e
 	r.mu.Unlock()
 
+	e.res, e.err = r.execute(bench, cfg, prewarm)
+	if e.err != nil {
+		// Drop failed entries so a later call can retry; waiters already
+		// holding the entry still observe the error.
+		e.err = fmt.Errorf("experiments: %s on %s/cpc=%d: %w",
+			bench, cfg.Organization, cfg.CPC, e.err)
+		r.mu.Lock()
+		delete(r.runs, key)
+		r.mu.Unlock()
+	}
+	close(e.done)
+	return e.res, e.err
+}
+
+// execute synthesises the workload and runs the simulation for one
+// design point (always a cache miss).
+func (r *Runner) execute(bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
 	p, ok := synth.ProfileByName(bench)
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown benchmark %q", bench)
+		return nil, fmt.Errorf("unknown benchmark %q", bench)
 	}
 	w, err := r.workload(p)
 	if err != nil {
@@ -183,23 +273,32 @@ func (r *Runner) simulate(bench string, cfg core.Config, prewarm bool) (*core.Re
 		}
 		sim.Prewarm(ic, l2)
 	}
-	res, err := sim.Run()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s on %s/cpc=%d: %w",
-			bench, cfg.Organization, cfg.CPC, err)
-	}
-	r.mu.Lock()
-	r.runs[key] = res
-	r.mu.Unlock()
-	return res, nil
+	r.sims.Add(1)
+	return sim.Run()
 }
 
-// CachedRuns reports how many distinct simulations have completed.
+// CachedRuns reports how many distinct simulations have completed
+// successfully.
 func (r *Runner) CachedRuns() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.runs)
+	n := 0
+	for _, e := range r.runs {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				n++
+			}
+		default:
+		}
+	}
+	return n
 }
+
+// Simulations reports how many simulations have actually executed —
+// with an effective cache this equals CachedRuns; a larger value means
+// duplicated work.
+func (r *Runner) Simulations() int { return int(r.sims.Load()) }
 
 // baselineConfig is the Fig 5a private-I-cache ACMP.
 func baselineConfig() core.Config { return core.DefaultConfig() }

@@ -23,8 +23,11 @@
 //     buses, L2s and DRAM.
 //   - Workload / Profile wrap the synthetic HPC trace generator
 //     (internal/synth) covering the paper's 24 benchmarks.
-//   - Runner / Experiments wrap the per-figure harness
-//     (internal/experiments).
+//   - Runner / Plan / Experiments wrap the per-figure harness and its
+//     parallel campaign engine (internal/experiments): design points
+//     are declared up front, deduplicated by a singleflight run cache,
+//     and fanned out across ExperimentOptions.Parallelism goroutines
+//     with context cancellation.
 //   - Tech / Cluster wrap the McPAT/CACTI-style area & energy model
 //     (internal/power).
 //   - CMPDesign wraps the Hill-Marty speedup model (internal/amdahl).
@@ -103,13 +106,26 @@ func ProfileNames() []string { return synth.ProfileNames() }
 // NewWorkload synthesises a workload from a profile.
 func NewWorkload(p Profile, cfg WorkloadConfig) (*Workload, error) { return synth.New(p, cfg) }
 
-// Runner caches simulations across experiments.
+// Runner executes and caches simulations across experiments: its
+// singleflight run cache simulates each distinct design point exactly
+// once even under concurrent use.
 type Runner = experiments.Runner
 
-// ExperimentOptions scales an experiment campaign.
+// DesignPoint is one (benchmark, configuration) simulation request in
+// a campaign plan.
+type DesignPoint = experiments.Point
+
+// CampaignPlan is an ordered batch of design points; RunAll fans it
+// out across ExperimentOptions.Parallelism goroutines and returns
+// results in plan order.
+type CampaignPlan = experiments.Plan
+
+// ExperimentOptions scales an experiment campaign, including its
+// Parallelism (0 = all cores).
 type ExperimentOptions = experiments.Options
 
-// Experiment couples a figure id with its runner.
+// Experiment couples a figure id with its runner; Run takes a
+// context.Context so campaigns can be aborted cleanly.
 type Experiment = experiments.Experiment
 
 // DefaultExperimentOptions returns the defaults used by

@@ -1,6 +1,7 @@
 package sharedicache
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -83,7 +84,7 @@ func TestFacadeExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(r)
+	res, err := e.Run(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
