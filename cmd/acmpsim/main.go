@@ -24,6 +24,7 @@ import (
 
 	"sharedicache/internal/core"
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/runstore"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
 )
@@ -41,6 +42,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload synthesis seed")
 		cold    = flag.Bool("cold", false, "start with cold caches instead of steady state")
 		traces  = flag.String("traces", "", "directory of <bench>.tNN.trace files from cmd/tracegen (replaces synthesis)")
+		store   = flag.String("store", "", "persistent run-store directory (synthesised runs only)")
 		list    = flag.Bool("listbench", false, "list benchmark names and exit")
 	)
 	flag.Parse()
@@ -92,6 +94,13 @@ func main() {
 		runner, err := experiments.NewRunner(opts)
 		if err != nil {
 			fatal(err)
+		}
+		if *store != "" {
+			st, err := runstore.Open(*store)
+			if err != nil {
+				fatal(err)
+			}
+			runner.SetStore(st)
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()

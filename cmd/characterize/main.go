@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/runstore"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: all 24)")
 		seed    = flag.Uint64("seed", 1, "synthesis seed")
 		par     = flag.Int("par", 0, "max concurrently characterised benchmarks (0 = GOMAXPROCS)")
+		store   = flag.String("store", "", "persistent run-store directory (used only if cycle simulations run)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,17 @@ func main() {
 	runner, err := experiments.NewRunner(opts)
 	if err != nil {
 		fatal(err)
+	}
+	// The characterisation figures walk traces rather than running
+	// cycle simulations, so the store stays idle here — attaching it
+	// keeps the drivers uniform and covers future figures that mix in
+	// simulated points.
+	if *store != "" {
+		st, err := runstore.Open(*store)
+		if err != nil {
+			fatal(err)
+		}
+		runner.SetStore(st)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -4,11 +4,16 @@
 //
 //	experiments [-fig all|fig1|...|fig13|table1] [-n instr] [-workers n]
 //	            [-bench BT,CG,...] [-seed s] [-cold] [-par p] [-list]
+//	            [-store DIR]
 //
 // Each figure prints as an aligned text table whose rows/series match
-// the paper's plot. Simulations fan out across -par goroutines
-// (default: all cores); Ctrl-C aborts the remaining design points
-// cleanly. See EXPERIMENTS.md for the paper-vs-measured record.
+// the paper's plot; figures that support it render rows incrementally
+// as their design points complete. Simulations fan out across -par
+// goroutines (default: all cores); Ctrl-C aborts the remaining design
+// points cleanly. With -store DIR results persist across invocations
+// in an on-disk run store, so regenerating a figure against a warm
+// store simulates nothing. See EXPERIMENTS.md for the
+// paper-vs-measured record.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/runstore"
 )
 
 func main() {
@@ -35,6 +41,8 @@ func main() {
 		par     = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		format  = flag.String("format", "text", "output format: text, csv, json")
 		chart   = flag.Int("chart", -1, "also render column N (0-based) as an ASCII bar chart")
+		store   = flag.String("store", "", "persistent run-store directory (second cache tier)")
+		stream  = flag.Bool("stream", true, "render supporting figures row-by-row as points complete (text format)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -70,6 +78,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var st *runstore.Store
+	if *store != "" {
+		if st, err = runstore.Open(*store); err != nil {
+			fatal(err)
+		}
+		runner.SetStore(st)
+	}
 
 	var selected []experiments.Experiment
 	if *fig == "all" {
@@ -89,7 +104,23 @@ func main() {
 
 	for _, e := range selected {
 		start := time.Now()
-		res, err := e.Run(ctx, runner)
+		var res experiments.Renderable
+		var err error
+		streamed := *format == "text" && *stream && e.Stream != nil
+		if streamed {
+			// Incremental rendering: print each table row the moment its
+			// design points complete instead of waiting for the figure.
+			fmt.Printf("%s: %s\n", e.ID, e.Title)
+			res, err = e.Stream(ctx, runner, func(label string, cells ...string) {
+				fmt.Printf("%-12s", label)
+				for _, c := range cells {
+					fmt.Printf("  %14s", c)
+				}
+				fmt.Println()
+			})
+		} else {
+			res, err = e.Run(ctx, runner)
+		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "experiments: interrupted")
@@ -98,13 +129,15 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
 		tbl := res.Table()
-		switch *format {
-		case "text":
+		switch {
+		case streamed:
+			fmt.Println()
+		case *format == "text":
 			fmt.Println(tbl.String())
-		case "csv":
+		case *format == "csv":
 			fmt.Print(tbl.CSV())
 			fmt.Println()
-		case "json":
+		case *format == "json":
 			raw, err := tbl.JSON()
 			if err != nil {
 				fatal(err)
@@ -118,6 +151,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v, %d cached runs]\n\n",
 			e.ID, time.Since(start).Round(time.Millisecond), runner.CachedRuns())
+	}
+
+	// Final cache accounting: how much work the campaign actually did
+	// versus resolved from the in-memory and persistent tiers.
+	if st != nil {
+		s := st.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d simulated, %d store hits, %d store misses, %d store writes\n",
+			runner.Simulations(), s.Hits, s.Misses, s.Writes)
+	} else {
+		fmt.Fprintf(os.Stderr, "cache: %d simulated, %d distinct points in memory\n",
+			runner.Simulations(), runner.CachedRuns())
 	}
 }
 

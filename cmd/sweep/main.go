@@ -6,8 +6,24 @@
 // human-readable variant.
 //
 // The whole sweep is declared as one batch plan and fanned out across
-// -par goroutines (default: all cores); Ctrl-C aborts the remaining
-// design points cleanly.
+// -par goroutines (default: all cores); rows stream to stdout as their
+// design points complete, and Ctrl-C aborts the remaining points
+// cleanly.
+//
+// With -store DIR, results persist in an on-disk run store: a repeated
+// sweep re-simulates nothing, and several processes (or hosts sharing
+// a filesystem) can split one sweep with -shard:
+//
+//	sweep -store /tmp/rs -shard 1/4 &   # each shard simulates its
+//	...                                 # quarter of the design space
+//	sweep -store /tmp/rs -shard 4/4 &
+//	wait
+//	sweep -store /tmp/rs -merge > sweep.csv
+//
+// -merge renders the CSV purely from the store (zero simulations) and
+// fails if any shard has not finished, so the merged output is
+// byte-identical to an unsharded run. -storeop index lists the store's
+// entries; -storeop gc sweeps corrupt or stale ones.
 //
 // Usage:
 //
@@ -28,21 +44,26 @@ import (
 	"sharedicache/internal/core"
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/power"
+	"sharedicache/internal/runstore"
 	"sharedicache/internal/synth"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "UA,FT,LULESH", "comma-separated benchmarks")
-		cpcs    = flag.String("cpc", "2,4,8", "sharing degrees to sweep")
-		sizes   = flag.String("size", "16,32", "shared I-cache sizes in KB")
-		lbs     = flag.String("lb", "4", "line-buffer counts")
-		buses   = flag.String("buses", "1,2", "bus counts")
-		n       = flag.Uint64("n", 80_000, "master instructions per run")
-		workers = flag.Int("workers", 8, "worker core count")
-		seed    = flag.Uint64("seed", 1, "synthesis seed")
-		cold    = flag.Bool("cold", false, "cold caches instead of steady state")
-		par     = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		bench    = flag.String("bench", "UA,FT,LULESH", "comma-separated benchmarks")
+		cpcs     = flag.String("cpc", "2,4,8", "sharing degrees to sweep")
+		sizes    = flag.String("size", "16,32", "shared I-cache sizes in KB")
+		lbs      = flag.String("lb", "4", "line-buffer counts")
+		buses    = flag.String("buses", "1,2", "bus counts")
+		n        = flag.Uint64("n", 80_000, "master instructions per run")
+		workers  = flag.Int("workers", 8, "worker core count")
+		seed     = flag.Uint64("seed", 1, "synthesis seed")
+		cold     = flag.Bool("cold", false, "cold caches instead of steady state")
+		par      = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		storeDir = flag.String("store", "", "persistent run-store directory (second cache tier)")
+		shardStr = flag.String("shard", "", "simulate only shard i/N of the design space into -store; no CSV")
+		merge    = flag.Bool("merge", false, "render the CSV from -store without simulating")
+		storeop  = flag.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit")
 	)
 	flag.Parse()
 
@@ -63,7 +84,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tech := power.Default45nm()
+
+	var store *runstore.Store
+	if *storeDir != "" {
+		if store, err = runstore.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+		runner.SetStore(store)
+	}
+	if *storeop != "" {
+		if store == nil {
+			fatal(errors.New("-storeop requires -store"))
+		}
+		storeMaint(store, *storeop)
+		return
+	}
+	if *shardStr != "" && *merge {
+		fatal(errors.New("-shard and -merge are mutually exclusive"))
+	}
 
 	// Declare the full design space up front: per benchmark one private
 	// baseline plus every valid shared point, in CSV emission order.
@@ -108,33 +146,61 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	results, err := plan.RunAll(ctx)
-	if err != nil {
-		fatal(err)
-	}
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	_ = w.Write([]string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
-		"time_ratio", "worker_mpki", "access_ratio", "bus_avg_wait",
-		"area_ratio", "energy_ratio"})
-
-	baseReps := map[string]power.Report{}
-	for _, b := range benches {
-		rep, err := tech.Evaluate(clusterFor(baseCfg), activityFor(results[baseIdx[b]]))
+	// Shard mode: simulate this shard's slice of the plan into the
+	// shared store and exit — -merge renders the CSV once all shards
+	// are done.
+	if *shardStr != "" {
+		if store == nil {
+			fatal(errors.New("-shard requires -store (shards share work through it)"))
+		}
+		sh, err := experiments.ParseShard(*shardStr)
 		if err != nil {
 			fatal(err)
 		}
-		baseReps[b] = rep
+		sub, err := plan.Shard(sh)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := sub.RunAll(ctx); err != nil {
+			fatal(err)
+		}
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "sweep: shard %s: %d of %d points, %d simulated, %d store hits\n",
+			sh, sub.Len(), plan.Len(), runner.Simulations(), st.Hits)
+		return
 	}
-	for _, m := range rows {
+
+	tech := power.Default45nm()
+	results := make([]*core.Result, plan.Len())
+	w := csv.NewWriter(os.Stdout)
+	write := func(record []string) {
+		if err := w.Write(record); err != nil {
+			fatal(err)
+		}
+	}
+	write([]string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
+		"time_ratio", "worker_mpki", "access_ratio", "bus_avg_wait",
+		"area_ratio", "energy_ratio"})
+
+	// emitRow renders one design point against its per-benchmark
+	// baseline, computing the baseline power report on first use.
+	baseReps := map[string]power.Report{}
+	emitRow := func(m rowMeta) {
 		base, res := results[m.baseIdx], results[m.pointIdx]
 		rep, err := tech.Evaluate(clusterFor(res.Config), activityFor(res))
 		if err != nil {
 			fatal(err)
 		}
-		_, er, ar := rep.Relative(baseReps[m.bench])
-		_ = w.Write([]string{
+		baseRep, ok := baseReps[m.bench]
+		if !ok {
+			if baseRep, err = tech.Evaluate(clusterFor(baseCfg), activityFor(base)); err != nil {
+				fatal(err)
+			}
+			baseReps[m.bench] = baseRep
+		}
+		_, er, ar := rep.Relative(baseRep)
+		write([]string{
 			m.bench,
 			strconv.Itoa(m.cpc), strconv.Itoa(m.kb),
 			strconv.Itoa(m.lb), strconv.Itoa(m.bus),
@@ -144,6 +210,96 @@ func main() {
 			f(res.Bus.AvgWait()),
 			f(ar), f(er),
 		})
+	}
+	flush := func() {
+		w.Flush()
+		// A full disk or closed pipe must not truncate the CSV
+		// silently: surface the writer's sticky error and exit non-zero.
+		if err := w.Error(); err != nil {
+			fatal(fmt.Errorf("write CSV: %w", err))
+		}
+	}
+
+	if *merge {
+		// Merge: resolve every point from the store, simulating nothing.
+		// With identical flags the row loop below is the one the
+		// unsharded sweep runs, so the merged CSV is byte-identical.
+		if store == nil {
+			fatal(errors.New("-merge requires -store"))
+		}
+		for i, pt := range plan.Points() {
+			res, ok := runner.Lookup(pt)
+			if !ok {
+				fatal(fmt.Errorf("store %s is missing %s on %s/cpc=%d (run the remaining shards first)",
+					store.Dir(), pt.Bench, pt.Cfg.Organization, pt.Cfg.CPC))
+			}
+			results[i] = res
+		}
+		for _, m := range rows {
+			emitRow(m)
+		}
+		flush()
+		fmt.Fprintf(os.Stderr, "sweep: merge: %d rows from %d stored points, 0 simulated\n",
+			len(rows), plan.Len())
+		return
+	}
+
+	// Normal run: stream rows as their points complete. Plan order puts
+	// each benchmark's baseline before its design points, and rows are
+	// ordered by pointIdx, so a row is emittable as soon as its
+	// pointIdx has streamed past.
+	ch, err := plan.RunAllStream(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	next := 0
+	for pr := range ch {
+		if pr.Err != nil {
+			flush()
+			fatal(pr.Err)
+		}
+		results[pr.Index] = pr.Result
+		for next < len(rows) && rows[next].pointIdx <= pr.Index {
+			emitRow(rows[next])
+			next++
+		}
+		flush()
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "sweep: %d simulated, %d store hits, %d store writes\n",
+			runner.Simulations(), st.Hits, st.Writes)
+	}
+}
+
+// storeMaint runs the -storeop maintenance path.
+func storeMaint(store *runstore.Store, op string) {
+	switch op {
+	case "index":
+		entries, err := store.Index()
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range entries {
+			prewarm := "cold"
+			if e.Key.Prewarm {
+				prewarm = "warm"
+			}
+			fmt.Printf("%s  %-10s %-13s cpc=%d %2dKB lb=%d bus=%d %s n=%d seed=%d  %dB\n",
+				e.Hash[:16], e.Key.Bench, e.Key.Config.Organization, e.Key.Config.CPC,
+				e.Key.Config.ICache.SizeBytes>>10, e.Key.Config.LineBuffers,
+				e.Key.Config.Buses, prewarm,
+				e.Key.Campaign.Instructions, e.Key.Campaign.Seed, e.Bytes)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: %d entries in %s\n", len(entries), store.Dir())
+	case "gc":
+		removed, err := store.GC()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: gc removed %d files from %s\n", removed, store.Dir())
+	default:
+		fatal(fmt.Errorf("unknown -storeop %q (index, gc)", op))
 	}
 }
 

@@ -1,0 +1,102 @@
+// Persistentsweep: run a design-space campaign through the on-disk run
+// store, the way a cluster would split the paper's evaluation across
+// nodes. The example executes the same small campaign three ways —
+// shard 1/2, shard 2/2, then a warm full pass — against one store
+// directory, streaming results as they complete and proving with the
+// engine's own counters that the warm pass simulates nothing.
+//
+// Run with:
+//
+//	go run ./examples/persistentsweep [-store DIR] [-n 40000]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sharedicache"
+)
+
+func main() {
+	dir := flag.String("store", "", "run-store directory (default: a temp dir)")
+	n := flag.Uint64("n", 40_000, "master instruction budget per design point")
+	flag.Parse()
+
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "runstore-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+
+	opts := sharedicache.DefaultExperimentOptions()
+	opts.Instructions = *n
+	opts.Benchmarks = []string{"UA", "FT", "LULESH"}
+
+	// plan declares the campaign: per benchmark the private baseline
+	// plus the shared organisation at each sharing degree.
+	plan := func(r *sharedicache.Runner) *sharedicache.CampaignPlan {
+		p := r.Plan()
+		for _, b := range opts.Benchmarks {
+			p.Add(b, sharedicache.DefaultConfig())
+			for _, cpc := range []int{2, 4, 8} {
+				cfg := sharedicache.SharedConfig()
+				cfg.CPC = cpc
+				p.Add(b, cfg)
+			}
+		}
+		return p
+	}
+
+	// Phase 1: two shards, as two processes on two hosts would run
+	// them, sharing the store directory.
+	for i := 1; i <= 2; i++ {
+		runner := newRunner(opts, *dir)
+		sh := sharedicache.Shard{Index: i, Count: 2}
+		sub, err := plan(runner).Shard(sh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sub.RunAll(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shard %s: %d points, %d simulated\n", sh, sub.Len(), runner.Simulations())
+	}
+
+	// Phase 2: the merged pass streams the whole campaign from the warm
+	// store — watch the rows arrive with zero simulations behind them.
+	runner := newRunner(opts, *dir)
+	ch, err := plan(runner).RunAllStream(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbenchmark    org            cpc      cycles")
+	for pr := range ch {
+		if pr.Err != nil {
+			log.Fatal(pr.Err)
+		}
+		fmt.Printf("%-12s %-14s %3d  %10d\n", pr.Point.Bench,
+			pr.Point.Cfg.Organization, pr.Point.Cfg.CPC, pr.Result.Cycles)
+	}
+	st := runner.Store().Stats()
+	fmt.Printf("\nwarm pass: %d simulated, %d store hits — the shards did all the work\n",
+		runner.Simulations(), st.Hits)
+}
+
+func newRunner(opts sharedicache.ExperimentOptions, dir string) *sharedicache.Runner {
+	r, err := sharedicache.NewRunner(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := sharedicache.OpenRunStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.SetStore(store)
+	return r
+}

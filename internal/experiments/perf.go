@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sharedicache/internal/core"
 	"sharedicache/internal/stats"
 	"sharedicache/internal/synth"
 )
@@ -28,6 +29,12 @@ type Fig7Result struct {
 
 // Fig7 sweeps cpc in {2,4,8} against the private baseline.
 func Fig7(ctx context.Context, r *Runner) (*Fig7Result, error) {
+	return fig7(ctx, r, nil)
+}
+
+// fig7 streams each benchmark's row to emit as soon as its four design
+// points complete.
+func fig7(ctx context.Context, r *Runner, emit RowEmit) (*Fig7Result, error) {
 	profiles := r.opts.profiles()
 	plan := r.Plan()
 	for _, p := range profiles {
@@ -36,18 +43,20 @@ func Fig7(ctx context.Context, r *Runner) (*Fig7Result, error) {
 			plan.Add(p.Name, sharedConfig(cpc, 32, 4, 1))
 		}
 	}
-	res, err := plan.RunAll(ctx)
+	emit.strings("benchmark", "cpc=2", "cpc=4", "cpc=8")
+	out := &Fig7Result{}
+	err := plan.streamRows(ctx, 4, func(i int, res []*core.Result) error {
+		base := res[0]
+		row := Fig7Row{Benchmark: profiles[i].Name}
+		row.CPC2 = float64(res[1].Cycles) / float64(base.Cycles)
+		row.CPC4 = float64(res[2].Cycles) / float64(base.Cycles)
+		row.CPC8 = float64(res[3].Cycles) / float64(base.Cycles)
+		out.Rows = append(out.Rows, row)
+		emit.row(row.Benchmark, row.CPC2, row.CPC4, row.CPC8)
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := &Fig7Result{}
-	for i, p := range profiles {
-		base := res[4*i]
-		row := Fig7Row{Benchmark: p.Name}
-		row.CPC2 = float64(res[4*i+1].Cycles) / float64(base.Cycles)
-		row.CPC4 = float64(res[4*i+2].Cycles) / float64(base.Cycles)
-		row.CPC8 = float64(res[4*i+3].Cycles) / float64(base.Cycles)
-		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
 }
@@ -102,23 +111,26 @@ type Fig8Result struct {
 // extra bucket is the additional stall cycles the shared design pays,
 // as a fraction of baseline cycles.
 func Fig8(ctx context.Context, r *Runner) (*Fig8Result, error) {
+	return fig8(ctx, r, nil)
+}
+
+// fig8 streams rows to emit as benchmarks complete.
+func fig8(ctx context.Context, r *Runner, emit RowEmit) (*Fig8Result, error) {
 	profiles := r.opts.profiles()
 	plan := r.Plan()
 	for _, p := range profiles {
 		plan.Add(p.Name, baselineConfig())
 		plan.Add(p.Name, sharedConfig(8, 32, 4, 1))
 	}
-	results, err := plan.RunAll(ctx)
-	if err != nil {
-		return nil, err
-	}
+	emit.strings("benchmark", "baseline", "I-bus lat", "I-bus congest", "I-cache lat", "branch miss", "rest", "total")
 	out := &Fig8Result{}
-	for i, p := range profiles {
-		base, res := results[2*i], results[2*i+1]
+	err := plan.streamRows(ctx, 2, func(i int, results []*core.Result) error {
+		p := profiles[i]
+		base, res := results[0], results[1]
 		bs, ss := base.WorkerStack(), res.WorkerStack()
 		norm := float64(bs.Total())
 		if norm == 0 {
-			return nil, fmt.Errorf("experiments: %s baseline recorded no worker cycles", p.Name)
+			return fmt.Errorf("experiments: %s baseline recorded no worker cycles", p.Name)
 		}
 		extra := func(shared, baseline uint64) float64 {
 			if shared <= baseline {
@@ -136,6 +148,12 @@ func Fig8(ctx context.Context, r *Runner) (*Fig8Result, error) {
 			Rest:         extra(ss.Sync+ss.Drain, bs.Sync+bs.Drain),
 		}
 		out.Rows = append(out.Rows, row)
+		emit.row(row.Benchmark, row.BaselineCPI, row.BusLatency, row.BusCongest,
+			row.CacheLatency, row.BranchMiss, row.Rest, row.Total())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -170,6 +188,11 @@ type Fig9Result struct {
 // organisation (the access ratio is a property of code and front-end,
 // not of where the I-cache lives).
 func Fig9(ctx context.Context, r *Runner) (*Fig9Result, error) {
+	return fig9(ctx, r, nil)
+}
+
+// fig9 streams rows to emit as benchmarks complete.
+func fig9(ctx context.Context, r *Runner, emit RowEmit) (*Fig9Result, error) {
 	profiles := r.opts.profiles()
 	plan := r.Plan()
 	for _, p := range profiles {
@@ -179,18 +202,21 @@ func Fig9(ctx context.Context, r *Runner) (*Fig9Result, error) {
 			plan.Add(p.Name, cfg)
 		}
 	}
-	results, err := plan.RunAll(ctx)
+	emit.strings("benchmark", "2 LB", "4 LB", "8 LB")
+	out := &Fig9Result{}
+	err := plan.streamRows(ctx, 3, func(i int, results []*core.Result) error {
+		row := Fig9Row{
+			Benchmark: profiles[i].Name,
+			LB2:       100 * results[0].WorkerAccessRatio(),
+			LB4:       100 * results[1].WorkerAccessRatio(),
+			LB8:       100 * results[2].WorkerAccessRatio(),
+		}
+		out.Rows = append(out.Rows, row)
+		emit.row(row.Benchmark, row.LB2, row.LB4, row.LB8)
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := &Fig9Result{}
-	for i, p := range profiles {
-		out.Rows = append(out.Rows, Fig9Row{
-			Benchmark: p.Name,
-			LB2:       100 * results[3*i].WorkerAccessRatio(),
-			LB4:       100 * results[3*i+1].WorkerAccessRatio(),
-			LB8:       100 * results[3*i+2].WorkerAccessRatio(),
-		})
 	}
 	return out, nil
 }
@@ -222,6 +248,11 @@ type Fig10Result struct {
 
 // Fig10 compares the two congestion remedies.
 func Fig10(ctx context.Context, r *Runner) (*Fig10Result, error) {
+	return fig10(ctx, r, nil)
+}
+
+// fig10 streams rows to emit as benchmarks complete.
+func fig10(ctx context.Context, r *Runner, emit RowEmit) (*Fig10Result, error) {
 	profiles := r.opts.profiles()
 	plan := r.Plan()
 	for _, p := range profiles {
@@ -230,20 +261,26 @@ func Fig10(ctx context.Context, r *Runner) (*Fig10Result, error) {
 		plan.Add(p.Name, sharedConfig(8, 16, 8, 1))
 		plan.Add(p.Name, sharedConfig(8, 16, 4, 2))
 	}
-	results, err := plan.RunAll(ctx)
+	emit.strings("benchmark", "4LB+1bus", "8LB+1bus", "4LB+2bus")
+	out := &Fig10Result{}
+	err := plan.streamRows(ctx, 4, func(i int, results []*core.Result) error {
+		base := float64(results[0].Cycles)
+		row := Fig10Row{
+			Benchmark:  profiles[i].Name,
+			Naive:      float64(results[1].Cycles) / base,
+			MoreLB:     float64(results[2].Cycles) / base,
+			MoreBandwk: float64(results[3].Cycles) / base,
+		}
+		out.Rows = append(out.Rows, row)
+		emit.row(row.Benchmark, row.Naive, row.MoreLB, row.MoreBandwk)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig10Result{}
-	for i, p := range profiles {
-		base := float64(results[4*i].Cycles)
-		out.Rows = append(out.Rows, Fig10Row{
-			Benchmark:  p.Name,
-			Naive:      float64(results[4*i+1].Cycles) / base,
-			MoreLB:     float64(results[4*i+2].Cycles) / base,
-			MoreBandwk: float64(results[4*i+3].Cycles) / base,
-		})
-	}
+	// The summary row the batch table carries must survive streaming.
+	a, b, c := out.Means()
+	emit.row("amean", a, b, c)
 	return out, nil
 }
 
@@ -288,6 +325,11 @@ type Fig11Result struct {
 // configurations use the double bus so that timing artefacts do not
 // perturb miss counts.
 func Fig11(ctx context.Context, r *Runner) (*Fig11Result, error) {
+	return fig11(ctx, r, nil)
+}
+
+// fig11 streams rows to emit as benchmarks complete.
+func fig11(ctx context.Context, r *Runner, emit RowEmit) (*Fig11Result, error) {
 	profiles := r.opts.profiles()
 	plan := r.Plan()
 	for _, p := range profiles {
@@ -295,19 +337,24 @@ func Fig11(ctx context.Context, r *Runner) (*Fig11Result, error) {
 		plan.AddCold(p.Name, sharedConfig(8, 32, 4, 2))
 		plan.AddCold(p.Name, sharedConfig(8, 16, 4, 2))
 	}
-	results, err := plan.RunAll(ctx)
-	if err != nil {
-		return nil, err
-	}
+	emit.strings("benchmark", "private MPKI", "cpc=8 32KB [%]", "cpc=8 16KB [%]")
 	out := &Fig11Result{}
-	for i, p := range profiles {
-		base, s32, s16 := results[3*i], results[3*i+1], results[3*i+2]
-		row := Fig11Row{Benchmark: p.Name, PrivateMPKI: base.WorkerMPKI()}
+	err := plan.streamRows(ctx, 3, func(i int, results []*core.Result) error {
+		base, s32, s16 := results[0], results[1], results[2]
+		row := Fig11Row{Benchmark: profiles[i].Name, PrivateMPKI: base.WorkerMPKI()}
 		if row.PrivateMPKI > 0 {
 			row.Shared32Pct = 100 * s32.WorkerMPKI() / row.PrivateMPKI
 			row.Shared16Pct = 100 * s16.WorkerMPKI() / row.PrivateMPKI
 		}
 		out.Rows = append(out.Rows, row)
+		emit.strings(row.Benchmark,
+			fmt.Sprintf("%.3f", row.PrivateMPKI),
+			fmt.Sprintf("%.1f", row.Shared32Pct),
+			fmt.Sprintf("%.1f", row.Shared16Pct))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -22,39 +22,49 @@ type Experiment struct {
 	// Run executes the experiment: its design points fan out across the
 	// runner's Parallelism and ctx aborts the remaining work.
 	Run func(ctx context.Context, r *Runner) (Renderable, error)
+	// Stream, when non-nil, is Run with incremental rendering: table
+	// rows (headers first) are pushed to emit as soon as their design
+	// points complete. Figures whose row order depends on the full
+	// result set (e.g. the sorted Fig 13) leave it nil.
+	Stream func(ctx context.Context, r *Runner, emit RowEmit) (Renderable, error)
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig1", "ACMP vs symmetric CMP speedup (Hill-Marty model)",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig1(ctx, r) }},
-		{"fig2", "Basic block length, serial vs parallel",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig2(ctx, r) }},
-		{"fig3", "I-cache MPKI, serial vs parallel (32KB)",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig3(ctx, r) }},
-		{"fig4", "Instruction sharing across threads",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig4(ctx, r) }},
-		{"table1", "Simulated ACMP configuration",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return TableI(ctx, r) }},
-		{"fig7", "Naive sharing: normalized execution time",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig7(ctx, r) }},
-		{"fig8", "CPI stack at cpc=8, single bus",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig8(ctx, r) }},
-		{"fig9", "I-cache access ratio by line buffers",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig9(ctx, r) }},
-		{"fig10", "Line buffers vs interconnect bandwidth",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig10(ctx, r) }},
-		{"fig11", "Shared vs private worker MPKI",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig11(ctx, r) }},
-		{"fig12", "Execution time, energy and area",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig12(ctx, r) }},
-		{"fig13", "All-shared vs worker-shared by serial fraction",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return Fig13(ctx, r) }},
-		{"ext-scale", "Extension: sharing-degree scalability sweep",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return ExtScale(ctx, r) }},
-		{"ext-cold", "Extension: cold-cache regime (sharing as a prefetcher)",
-			func(ctx context.Context, r *Runner) (Renderable, error) { return ExtCold(ctx, r) }},
+		{ID: "fig1", Title: "ACMP vs symmetric CMP speedup (Hill-Marty model)",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return Fig1(ctx, r) }},
+		{ID: "fig2", Title: "Basic block length, serial vs parallel",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return Fig2(ctx, r) }},
+		{ID: "fig3", Title: "I-cache MPKI, serial vs parallel (32KB)",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return Fig3(ctx, r) }},
+		{ID: "fig4", Title: "Instruction sharing across threads",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return Fig4(ctx, r) }},
+		{ID: "table1", Title: "Simulated ACMP configuration",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return TableI(ctx, r) }},
+		{ID: "fig7", Title: "Naive sharing: normalized execution time",
+			Run:    func(ctx context.Context, r *Runner) (Renderable, error) { return Fig7(ctx, r) },
+			Stream: func(ctx context.Context, r *Runner, emit RowEmit) (Renderable, error) { return fig7(ctx, r, emit) }},
+		{ID: "fig8", Title: "CPI stack at cpc=8, single bus",
+			Run:    func(ctx context.Context, r *Runner) (Renderable, error) { return Fig8(ctx, r) },
+			Stream: func(ctx context.Context, r *Runner, emit RowEmit) (Renderable, error) { return fig8(ctx, r, emit) }},
+		{ID: "fig9", Title: "I-cache access ratio by line buffers",
+			Run:    func(ctx context.Context, r *Runner) (Renderable, error) { return Fig9(ctx, r) },
+			Stream: func(ctx context.Context, r *Runner, emit RowEmit) (Renderable, error) { return fig9(ctx, r, emit) }},
+		{ID: "fig10", Title: "Line buffers vs interconnect bandwidth",
+			Run:    func(ctx context.Context, r *Runner) (Renderable, error) { return Fig10(ctx, r) },
+			Stream: func(ctx context.Context, r *Runner, emit RowEmit) (Renderable, error) { return fig10(ctx, r, emit) }},
+		{ID: "fig11", Title: "Shared vs private worker MPKI",
+			Run:    func(ctx context.Context, r *Runner) (Renderable, error) { return Fig11(ctx, r) },
+			Stream: func(ctx context.Context, r *Runner, emit RowEmit) (Renderable, error) { return fig11(ctx, r, emit) }},
+		{ID: "fig12", Title: "Execution time, energy and area",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return Fig12(ctx, r) }},
+		{ID: "fig13", Title: "All-shared vs worker-shared by serial fraction",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return Fig13(ctx, r) }},
+		{ID: "ext-scale", Title: "Extension: sharing-degree scalability sweep",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return ExtScale(ctx, r) }},
+		{ID: "ext-cold", Title: "Extension: cold-cache regime (sharing as a prefetcher)",
+			Run: func(ctx context.Context, r *Runner) (Renderable, error) { return ExtCold(ctx, r) }},
 	}
 }
 

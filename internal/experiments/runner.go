@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"sharedicache/internal/core"
+	"sharedicache/internal/runstore"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
 )
@@ -130,14 +131,23 @@ func (o Options) profiles() []synth.Profile {
 // Batches of points are declared with Plan and fanned out across
 // Options.Parallelism goroutines by Plan.RunAll. A Runner is safe for
 // concurrent use.
+//
+// The cache is two-tier when a persistent store is attached with
+// SetStore: lookups go memory -> disk -> simulate, and every fresh
+// simulation is written back to disk, so repeated campaigns are
+// near-instant and sharded campaigns sharing one store directory share
+// work across processes.
 type Runner struct {
 	opts Options
 
-	mu   sync.Mutex
-	runs map[runKey]*runEntry
+	mu    sync.Mutex
+	runs  map[runKey]*runEntry
+	store *runstore.Store
 
-	// sims counts simulations actually executed (cache misses); the
-	// singleflight regression tests pin it against duplicated work.
+	// sims counts simulations actually executed (cache misses in both
+	// tiers); the singleflight regression tests pin it against
+	// duplicated work, and the persistent-cache tests pin it at zero
+	// against a warm store.
 	sims atomic.Int64
 }
 
@@ -165,6 +175,60 @@ func NewRunner(opts Options) (*Runner, error) {
 
 // Options returns the campaign options.
 func (r *Runner) Options() Options { return r.opts }
+
+// SetStore attaches a persistent result store as the second cache
+// tier. Attach it before running plans; results already cached in
+// memory are not written back retroactively.
+func (r *Runner) SetStore(s *runstore.Store) {
+	r.mu.Lock()
+	r.store = s
+	r.mu.Unlock()
+}
+
+// Store returns the attached persistent store, or nil.
+func (r *Runner) Store() *runstore.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store
+}
+
+// fingerprint identifies the result-affecting campaign options inside
+// every persistent-store key. CharInstructions is stored resolved so
+// an explicit budget equal to the default hashes identically.
+func (r *Runner) fingerprint() runstore.Fingerprint {
+	return runstore.Fingerprint{
+		Workers:          r.opts.Workers,
+		Instructions:     r.opts.Instructions,
+		Seed:             r.opts.Seed,
+		CharInstructions: r.opts.charInstructions(),
+	}
+}
+
+// storeKey builds the persistent-store key for one resolved design
+// point (cfg.Workers already normalised).
+func (r *Runner) storeKey(bench string, cfg core.Config, prewarm bool) runstore.Key {
+	return runstore.Key{Bench: bench, Config: cfg, Prewarm: prewarm, Campaign: r.fingerprint()}
+}
+
+// PointKey returns the persistent-store key the runner would use for
+// pt — the stable identity that sharding and merge tooling hash.
+func (r *Runner) PointKey(pt Point) runstore.Key {
+	cfg := pt.Cfg
+	cfg.Workers = r.opts.Workers
+	return r.storeKey(pt.Bench, cfg, r.opts.Prewarm && !pt.Cold)
+}
+
+// Lookup resolves pt from the persistent store only, without
+// simulating; it reports false when no store is attached or the point
+// is absent. Merge tooling uses it to render campaigns that sharded
+// runs have already simulated.
+func (r *Runner) Lookup(pt Point) (*core.Result, bool) {
+	st := r.Store()
+	if st == nil {
+		return nil, false
+	}
+	return st.Get(r.PointKey(pt))
+}
 
 // workload synthesises the benchmark's workload for these options.
 func (r *Runner) workload(p synth.Profile) (*synth.Workload, error) {
@@ -229,9 +293,10 @@ func (r *Runner) simulate(ctx context.Context, bench string, cfg core.Config, pr
 	}
 	e := &runEntry{done: make(chan struct{})}
 	r.runs[key] = e
+	st := r.store
 	r.mu.Unlock()
 
-	e.res, e.err = r.execute(bench, cfg, prewarm)
+	e.res, e.err = r.executeOrLoad(st, bench, cfg, prewarm)
 	if e.err != nil {
 		// Drop failed entries so a later call can retry; waiters already
 		// holding the entry still observe the error.
@@ -243,6 +308,28 @@ func (r *Runner) simulate(ctx context.Context, bench string, cfg core.Config, pr
 	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// executeOrLoad resolves a memory-tier miss: disk first when a store
+// is attached, then simulation with a write-back. A persist failure is
+// surfaced as an error — a sharded campaign whose shards cannot see
+// each other's results is broken, not degraded.
+func (r *Runner) executeOrLoad(st *runstore.Store, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+	if st != nil {
+		if res, ok := st.Get(r.storeKey(bench, cfg, prewarm)); ok {
+			return res, nil
+		}
+	}
+	res, err := r.execute(bench, cfg, prewarm)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		if err := st.Put(r.storeKey(bench, cfg, prewarm), res); err != nil {
+			return nil, fmt.Errorf("persist result: %w", err)
+		}
+	}
+	return res, nil
 }
 
 // execute synthesises the workload and runs the simulation for one

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard names one partition of a campaign: shard Index of Count,
+// 1-based to match the command-line spelling "-shard 1/4".
+//
+// Points are assigned to shards by their persistent-store key hash, so
+// the partition is deterministic and identical in every process
+// started with the same campaign options — N sweeps pointed at one
+// store directory, each running a different shard, cover the design
+// space exactly once between them.
+type Shard struct {
+	Index, Count int
+}
+
+// ParseShard parses the "i/N" command-line form. Trailing characters
+// are rejected, so a typo cannot silently select the wrong partition.
+func ParseShard(s string) (Shard, error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("experiments: shard %q is not of the form i/N", s)
+	}
+	var sh Shard
+	var err1, err2 error
+	sh.Index, err1 = strconv.Atoi(idx)
+	sh.Count, err2 = strconv.Atoi(cnt)
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("experiments: shard %q is not of the form i/N", s)
+	}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// Validate reports malformed shard coordinates.
+func (sh Shard) Validate() error {
+	if sh.Count < 1 || sh.Index < 1 || sh.Index > sh.Count {
+		return fmt.Errorf("experiments: shard %d/%d out of range (need 1 <= i <= N)", sh.Index, sh.Count)
+	}
+	return nil
+}
+
+// String returns the "i/N" form.
+func (sh Shard) String() string { return fmt.Sprintf("%d/%d", sh.Index, sh.Count) }
+
+// contains reports whether the shard owns the given key hash.
+func (sh Shard) contains(hash uint64) bool {
+	return hash%uint64(sh.Count) == uint64(sh.Index-1)
+}
+
+// Shard returns the sub-plan of points this shard owns. The union of
+// all Count shards is the whole plan and the shards are pairwise
+// disjoint (duplicate points land in the same shard, preserving the
+// engine's simulate-once guarantee per shard).
+func (p *Plan) Shard(sh Shard) (*Plan, error) {
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	sub := &Plan{r: p.r}
+	for _, pt := range p.points {
+		if sh.contains(p.r.PointKey(pt).Hash64()) {
+			sub.points = append(sub.points, pt)
+		}
+	}
+	return sub, nil
+}
+
+// Points returns a copy of the plan's design points in plan order.
+func (p *Plan) Points() []Point {
+	return append([]Point(nil), p.points...)
+}

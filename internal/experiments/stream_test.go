@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunAllStreamParity checks that the stream delivers every point
+// in plan order with results identical to the batch API.
+func TestRunAllStreamParity(t *testing.T) {
+	r := smallRunner(t, nil)
+	batch, err := campaignPlan(r).RunAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := smallRunner(t, nil)
+	plan := campaignPlan(r2)
+	ch, err := plan.RunAllStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for pr := range ch {
+		if pr.Err != nil {
+			t.Fatal(pr.Err)
+		}
+		if pr.Index != i {
+			t.Fatalf("stream delivered index %d at position %d", pr.Index, i)
+		}
+		if !reflect.DeepEqual(pr.Result, batch[i]) {
+			t.Fatalf("streamed result %d differs from batch result", i)
+		}
+		if pr.Point != plan.Points()[i] {
+			t.Fatalf("streamed point %d does not match the plan", i)
+		}
+		i++
+	}
+	if i != plan.Len() {
+		t.Fatalf("stream delivered %d points, want %d", i, plan.Len())
+	}
+}
+
+// TestRunAllStreamError injects a failing point mid-plan: the stream
+// must deliver the points before it, then a single terminal Err, then
+// close.
+func TestRunAllStreamError(t *testing.T) {
+	r := smallRunner(t, func(o *Options) { o.Parallelism = 1 })
+	plan := r.Plan()
+	plan.Add("FT", baselineConfig())
+	badCfg := baselineConfig()
+	badCfg.ICacheLatency = 0 // rejected by core.New
+	plan.Add("FT", badCfg)
+	plan.Add("UA", baselineConfig())
+
+	ch, err := plan.RunAllStream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []PointResult
+	for pr := range ch {
+		got = append(got, pr)
+	}
+	if len(got) == 0 {
+		t.Fatal("stream closed without delivering anything")
+	}
+	last := got[len(got)-1]
+	if last.Err == nil {
+		t.Fatalf("stream ended without an error after a failing point (%d results)", len(got))
+	}
+	if !strings.Contains(last.Err.Error(), "FT") {
+		t.Fatalf("terminal error %q does not name the failing point", last.Err)
+	}
+	for _, pr := range got[:len(got)-1] {
+		if pr.Err != nil || pr.Result == nil {
+			t.Fatal("non-terminal stream entries must carry results")
+		}
+	}
+}
+
+// TestRunAllStreamCancel cancels mid-stream; the channel must
+// terminate (with or without a surfaced ctx error) instead of hanging.
+func TestRunAllStreamCancel(t *testing.T) {
+	r := smallRunner(t, func(o *Options) { o.Parallelism = 1 })
+	ctx, cancel := context.WithCancel(context.Background())
+	plan := campaignPlan(r)
+	ch, err := plan.RunAllStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for pr := range ch {
+		n++
+		if pr.Err != nil {
+			if !errors.Is(pr.Err, context.Canceled) {
+				t.Fatalf("terminal error = %v, want context.Canceled", pr.Err)
+			}
+			break
+		}
+		cancel()
+	}
+	cancel()
+	for range ch {
+	}
+	if n > plan.Len() {
+		t.Fatalf("stream delivered %d entries for a %d-point plan", n, plan.Len())
+	}
+}
+
+// TestStreamedFigureParity checks that a figure generated through its
+// streaming path emits one rendered row per benchmark (plus a header)
+// and returns the same result as the batch path.
+func TestStreamedFigureParity(t *testing.T) {
+	batch, err := Fig7(context.Background(), smallRunner(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rows [][]string
+	streamed, err := fig7(context.Background(), smallRunner(t, nil), func(label string, cells ...string) {
+		rows = append(rows, append([]string{label}, cells...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch, streamed) {
+		t.Fatal("streamed Fig7 result differs from batch result")
+	}
+	if len(rows) != len(streamed.Rows)+1 {
+		t.Fatalf("emitted %d rows, want header + %d benchmarks", len(rows), len(streamed.Rows))
+	}
+	if rows[0][0] != "benchmark" {
+		t.Fatalf("first emitted row %v is not the header", rows[0])
+	}
+	for i, row := range rows[1:] {
+		if row[0] != streamed.Rows[i].Benchmark {
+			t.Fatalf("row %d label = %q, want %q", i, row[0], streamed.Rows[i].Benchmark)
+		}
+		if len(row) != 4 {
+			t.Fatalf("row %d has %d cells, want 4", i, len(row))
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package runstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// IndexEntry describes one trustworthy store entry.
+type IndexEntry struct {
+	// Hash is the content address (the filename stem).
+	Hash string
+	// Key is the full design-point identity read back from the entry.
+	Key Key
+	// Bytes is the entry's size on disk.
+	Bytes int64
+}
+
+// Index lists every valid entry in the store, sorted by hash. Corrupt
+// or stale files are skipped (and counted in Stats.BadEntries); GC
+// removes them.
+func (s *Store) Index() ([]IndexEntry, error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []IndexEntry
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, entrySuffix) {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		e, size, ok := s.readEntry(path, strings.TrimSuffix(name, entrySuffix))
+		if !ok {
+			s.bad.Add(1)
+			continue
+		}
+		out = append(out, IndexEntry{Hash: e.Key.Hex(), Key: e.Key, Bytes: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out, nil
+}
+
+// GC removes everything Get would refuse to trust — unparsable
+// entries, entries of another format version, entries whose content
+// does not match their filename — plus leftover temp files from
+// interrupted writes. It returns how many files were removed.
+func (s *Store) GC() (removed int, err error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			if os.Remove(path) == nil {
+				removed++
+			}
+		case strings.HasSuffix(name, entrySuffix):
+			if _, _, ok := s.readEntry(path, strings.TrimSuffix(name, entrySuffix)); !ok {
+				if os.Remove(path) == nil {
+					removed++
+				}
+			}
+		}
+	}
+	return removed, nil
+}
+
+// readEntry loads and verifies one entry file against the hash its
+// filename claims.
+func (s *Store) readEntry(path, hash string) (entry, int64, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return entry{}, 0, false
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil ||
+		e.Version != FormatVersion || e.Result == nil || e.Key.Hex() != hash {
+		return entry{}, 0, false
+	}
+	return e, int64(len(raw)), true
+}

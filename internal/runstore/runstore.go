@@ -1,0 +1,201 @@
+// Package runstore persists simulation results on disk so that
+// repeated campaigns, and campaigns sharded across processes or hosts,
+// share work instead of re-simulating the design space.
+//
+// The store is content-addressed: each entry lives under a stable
+// SHA-256 of its canonical Key — the design point (benchmark,
+// configuration, prewarm) plus a fingerprint of the campaign options
+// that change simulation outcomes, plus the store format version. Two
+// processes started with the same options therefore compute identical
+// paths for identical points, which is what makes a directory shared
+// between sharded sweeps act as one common cache.
+//
+// Writes are atomic (temp file + rename into place), so concurrent
+// writers on one directory — even racing on the same key — leave only
+// complete entries behind. Reads are corruption-tolerant: a truncated,
+// garbled, stale-version or mislabelled entry is treated as a cache
+// miss, never as an error; GC exists to sweep such debris.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"sharedicache/internal/core"
+)
+
+// FormatVersion is baked into every entry and into the key hash, so a
+// change to the on-disk schema invalidates old stores wholesale
+// instead of half-reading them.
+const FormatVersion = 1
+
+// Fingerprint captures the campaign options that affect simulation
+// results. Any change to these invalidates every entry (the
+// fingerprint is part of the key hash); options that only affect
+// scheduling — Parallelism, the benchmark subset — are deliberately
+// excluded so they can vary freely across shards.
+type Fingerprint struct {
+	Workers          int
+	Instructions     uint64
+	Seed             uint64
+	CharInstructions uint64
+}
+
+// Key is the canonical identity of one stored result.
+type Key struct {
+	Bench    string
+	Config   core.Config
+	Prewarm  bool
+	Campaign Fingerprint
+}
+
+// canonical serialises the key deterministically. JSON field order
+// follows struct declaration order, so the byte stream — and hence the
+// hash — is stable across processes and hosts; the golden-hash test
+// pins it.
+func (k Key) canonical() []byte {
+	raw, err := json.Marshal(struct {
+		Version int
+		Key     Key
+	}{FormatVersion, k})
+	if err != nil {
+		// Key is plain data (strings, integers, bools); Marshal cannot
+		// fail on it.
+		panic(fmt.Sprintf("runstore: marshal key: %v", err))
+	}
+	return raw
+}
+
+// Sum returns the SHA-256 of the canonical key.
+func (k Key) Sum() [sha256.Size]byte { return sha256.Sum256(k.canonical()) }
+
+// Hex returns the entry's content address (64 hex characters).
+func (k Key) Hex() string {
+	sum := k.Sum()
+	return hex.EncodeToString(sum[:])
+}
+
+// Hash64 folds the content address to 64 bits; the sharding layer
+// partitions plans with it.
+func (k Key) Hash64() uint64 {
+	sum := k.Sum()
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Writes counts successful
+	// Puts. BadEntries counts reads that found a file but could not
+	// trust it (corrupt, stale version, key mismatch) — each such read
+	// also counts as a miss.
+	Hits, Misses, Writes, BadEntries int64
+}
+
+// Store is an on-disk result cache rooted at one directory. It is safe
+// for concurrent use by multiple goroutines and multiple processes.
+type Store struct {
+	dir string
+
+	hits, misses, writes, bad atomic.Int64
+}
+
+// Open creates the directory if needed and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entrySuffix names complete entries; temp files use tmpPattern until
+// renamed into place.
+const (
+	entrySuffix = ".json"
+	tmpPattern  = "put-*.tmp"
+)
+
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, k.Hex()+entrySuffix)
+}
+
+// entry is the on-disk schema. The full key is stored alongside the
+// result so reads can verify the file really holds what its name
+// claims (guarding against collisions, renames and format drift).
+type entry struct {
+	Version int
+	Key     Key
+	Result  *core.Result
+}
+
+// Get returns the stored result for k, or (nil, false) on a miss. A
+// present-but-untrustworthy entry is a miss, not an error: campaigns
+// re-simulate and overwrite it.
+func (s *Store) Get(k Key) (*core.Result, bool) {
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil ||
+		e.Version != FormatVersion || e.Key != k || e.Result == nil {
+		s.bad.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e.Result, true
+}
+
+// Put persists res under k atomically: the entry is written to a temp
+// file in the store directory and renamed into place, so a reader (or
+// a concurrent writer of the same key) never observes a partial entry.
+func (s *Store) Put(k Key, res *core.Result) error {
+	if res == nil {
+		return fmt.Errorf("runstore: nil result for %s", k.Bench)
+	}
+	raw, err := json.Marshal(entry{Version: FormatVersion, Key: k, Result: res})
+	if err != nil {
+		return fmt.Errorf("runstore: marshal entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, tmpPattern)
+	if err != nil {
+		return fmt.Errorf("runstore: %w", err)
+	}
+	if _, err := tmp.Write(raw); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), s.path(k))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runstore: write entry: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Writes:     s.writes.Load(),
+		BadEntries: s.bad.Load(),
+	}
+}

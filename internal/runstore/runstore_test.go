@@ -1,0 +1,256 @@
+package runstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sharedicache/internal/core"
+)
+
+// testKey builds a distinct key per variant index.
+func testKey(i int) Key {
+	cfg := core.DefaultConfig()
+	cfg.CPC = 1 << (i % 4)
+	return Key{
+		Bench:    fmt.Sprintf("FT%d", i),
+		Config:   cfg,
+		Prewarm:  i%2 == 0,
+		Campaign: Fingerprint{Workers: 8, Instructions: 120_000, Seed: 1, CharInstructions: 2_000_000},
+	}
+}
+
+// testResult builds a distinguishable fake result.
+func testResult(i int) *core.Result {
+	return &core.Result{
+		Config: core.DefaultConfig(),
+		Cycles: uint64(1000 + i),
+		Cores: []core.CoreResult{
+			{Instructions: uint64(10 * i), SerialCycles: 7},
+			{Instructions: uint64(20 * i), ParallelCycles: 9},
+		},
+		MergedFills: uint64(i),
+	}
+}
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := open(t)
+	k, res := testKey(1), testResult(1)
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	if err := s.Put(k, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("round trip mutated the result:\n got %+v\nwant %+v", got, res)
+	}
+	// A different key must not alias onto the same entry.
+	if _, ok := s.Get(testKey(2)); ok {
+		t.Fatal("unrelated key hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Writes != 1 || st.BadEntries != 0 {
+		t.Fatalf("Stats = %+v, want 1 hit / 2 misses / 1 write / 0 bad", st)
+	}
+}
+
+// TestGoldenKeyHash pins the content address of a fixed key. The hash
+// is what lets separate processes (shards on different hosts) resolve
+// the same design point to the same file, so it must never drift
+// silently: if this test fails, the canonical encoding changed and
+// FormatVersion must be bumped (which changes every hash by design —
+// then update the constant below).
+func TestGoldenKeyHash(t *testing.T) {
+	k := Key{
+		Bench:    "FT",
+		Config:   core.DefaultConfig(),
+		Prewarm:  true,
+		Campaign: Fingerprint{Workers: 8, Instructions: 120_000, Seed: 1, CharInstructions: 2_000_000},
+	}
+	const want = "be1cbe758934f6199eb407c343526c25826151caf9f3ac6863b854b757614d47"
+	if got := k.Hex(); got != want {
+		t.Fatalf("key hash drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"garbage":   func([]byte) []byte { return []byte("not json at all") },
+		"truncated": func(raw []byte) []byte { return raw[:len(raw)/2] },
+		"version": func(raw []byte) []byte {
+			return []byte(strings.Replace(string(raw), `"Version":1`, `"Version":999`, 1))
+		},
+		"wrong-key": func(raw []byte) []byte {
+			return []byte(strings.Replace(string(raw), `"Bench":"FT1"`, `"Bench":"ZZ"`, 1))
+		},
+		"empty": func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			s := open(t)
+			k := testKey(1)
+			if err := s.Put(k, testResult(1)); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(s.path(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.path(k), corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(k); ok {
+				t.Fatal("corrupt entry reported as a hit")
+			}
+			if st := s.Stats(); st.BadEntries != 1 {
+				t.Fatalf("BadEntries = %d, want 1", st.BadEntries)
+			}
+			// The campaign overwrites the debris and recovers.
+			if err := s.Put(k, testResult(1)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(k); !ok || !reflect.DeepEqual(got, testResult(1)) {
+				t.Fatal("re-Put did not recover the entry")
+			}
+		})
+	}
+}
+
+// TestConcurrentWriters hammers one directory from many goroutines,
+// racing Puts and Gets on overlapping keys; the race detector guards
+// the counters and the atomic rename guards the entries.
+func TestConcurrentWriters(t *testing.T) {
+	s := open(t)
+	const goroutines, keys = 16, 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := testKey(i)
+				if err := s.Put(k, testResult(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if res, ok := s.Get(k); ok {
+					// A hit must always be a complete entry, never a
+					// torn write.
+					if !reflect.DeepEqual(res, testResult(i)) {
+						t.Errorf("goroutine %d read a mangled entry for key %d", g, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		if res, ok := s.Get(testKey(i)); !ok || !reflect.DeepEqual(res, testResult(i)) {
+			t.Fatalf("key %d unreadable after concurrent writes", i)
+		}
+	}
+	entries, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != keys {
+		t.Fatalf("Index found %d entries, want %d", len(entries), keys)
+	}
+}
+
+func TestIndexAndGC(t *testing.T) {
+	s := open(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(i), testResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Plant debris: a corrupt entry, a mislabelled entry and a leftover
+	// temp file from an interrupted write.
+	if err := os.WriteFile(filepath.Join(s.dir, strings.Repeat("ab", 32)+entrySuffix), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(s.path(testKey(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, strings.Repeat("cd", 32)+entrySuffix), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, "put-123.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("Index listed %d entries, want the 3 valid ones", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Hash >= entries[i].Hash {
+			t.Fatal("Index not sorted by hash")
+		}
+	}
+
+	removed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("GC removed %d files, want 3 (corrupt + mislabelled + tmp)", removed)
+	}
+	// The valid entries survive.
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get(testKey(i)); !ok {
+			t.Fatalf("GC destroyed valid entry %d", i)
+		}
+	}
+	if again, _ := s.GC(); again != 0 {
+		t.Fatalf("second GC removed %d files, want 0", again)
+	}
+}
+
+// TestOpenRejectsEmptyDir pins the guard against silently caching into
+// the current directory.
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+// TestHash64ShardStability pins that Hash64 derives from the same
+// canonical bytes as Hex, so shard partitions agree with store paths.
+func TestHash64ShardStability(t *testing.T) {
+	k := testKey(3)
+	if k.Hash64() != testKey(3).Hash64() {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if k.Hash64() == testKey(4).Hash64() {
+		t.Fatal("distinct keys collided in 64 bits (astronomically unlikely)")
+	}
+	if !strings.HasPrefix(k.Hex(), fmt.Sprintf("%016x", k.Hash64())) {
+		t.Fatal("Hash64 is not the leading 64 bits of the content address")
+	}
+}

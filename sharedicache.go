@@ -28,6 +28,12 @@
 //     are declared up front, deduplicated by a singleflight run cache,
 //     and fanned out across ExperimentOptions.Parallelism goroutines
 //     with context cancellation.
+//   - RunStore (internal/runstore) persists results on disk as a
+//     second cache tier keyed by content hash; Shard partitions a
+//     CampaignPlan deterministically so sharded processes sharing one
+//     store directory split a campaign, and
+//     CampaignPlan.RunAllStream streams results in plan order as they
+//     complete.
 //   - Tech / Cluster wrap the McPAT/CACTI-style area & energy model
 //     (internal/power).
 //   - CMPDesign wraps the Hill-Marty speedup model (internal/amdahl).
@@ -39,6 +45,7 @@ import (
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/interconnect"
 	"sharedicache/internal/power"
+	"sharedicache/internal/runstore"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
 )
@@ -127,6 +134,28 @@ type ExperimentOptions = experiments.Options
 // Experiment couples a figure id with its runner; Run takes a
 // context.Context so campaigns can be aborted cleanly.
 type Experiment = experiments.Experiment
+
+// PointResult is one streamed design-point outcome from
+// CampaignPlan.RunAllStream, delivered in plan order.
+type PointResult = experiments.PointResult
+
+// Shard names partition i of N of a campaign; CampaignPlan.Shard
+// selects the sub-plan it owns, deterministically across processes.
+type Shard = experiments.Shard
+
+// ParseShard parses the "i/N" command-line shard form.
+func ParseShard(s string) (Shard, error) { return experiments.ParseShard(s) }
+
+// RunStore is a persistent, content-addressed on-disk result cache;
+// attach one to a Runner with SetStore to make campaigns resumable and
+// shardable across processes.
+type RunStore = runstore.Store
+
+// RunStoreStats counts store hits, misses, writes and bad entries.
+type RunStoreStats = runstore.Stats
+
+// OpenRunStore opens (creating if needed) a run store directory.
+func OpenRunStore(dir string) (*RunStore, error) { return runstore.Open(dir) }
 
 // DefaultExperimentOptions returns the defaults used by
 // cmd/experiments.
