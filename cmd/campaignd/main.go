@@ -1,0 +1,153 @@
+// Command campaignd coordinates a distributed design-space campaign:
+// it owns the sweep plan, serves the run store over HTTP, leases
+// batches of design points to remote workers with TTL-based work
+// stealing, and streams the merged CSV to stdout in plan order as
+// results arrive — byte-identical to the CSV a single-process
+// `sweep` with the same flags would produce.
+//
+// Coordinator (emits the merged CSV, then exits):
+//
+//	campaignd -addr :8417 -store /tmp/rs -bench UA,FT -cpc 2,4,8 > sweep.csv
+//
+// Workers, on any machine that can reach it (no shared filesystem):
+//
+//	sweep -remote http://coordinator:8417 -worker
+//	campaignd -join http://coordinator:8417
+//
+// Workers fetch the campaign options from the coordinator, so store
+// keys agree by construction; a worker that dies mid-batch simply
+// stops heartbeating and its points are re-leased to the survivors.
+// Restarting the coordinator over the same -store resumes the
+// campaign: points already in the store are complete.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"sharedicache/internal/campaignd"
+	"sharedicache/internal/experiments"
+	"sharedicache/internal/runstore"
+	"sharedicache/internal/sweep"
+)
+
+func main() {
+	// The design-space and campaign flags are shared with cmd/sweep
+	// (internal/sweep), so the two drivers cannot drift apart — which
+	// the byte-identical-CSV guarantee depends on.
+	sf := sweep.RegisterFlags(flag.CommandLine)
+	var (
+		addr     = flag.String("addr", ":8417", "listen address for the store and dispatch planes")
+		storeDir = flag.String("store", "", "run-store directory backing the store plane (required)")
+		join     = flag.String("join", "", "run as a worker against the coordinator at this URL instead of serving")
+		ttl      = flag.Duration("ttl", campaignd.DefaultTTL, "lease TTL; a worker missing heartbeats this long forfeits its batch")
+		batch    = flag.Int("batch", campaignd.DefaultBatch, "max design points per lease")
+		grace    = flag.Duration("grace", 2*time.Second, "keep serving this long after completion so polling workers see the campaign finish")
+		par      = flag.Int("par", 0, "worker mode: max concurrent simulations (0 = GOMAXPROCS)")
+		id       = flag.String("id", "", "worker mode: worker name in leases (default host-pid)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// -join: thin worker mode, identical to `sweep -remote URL -worker`.
+	if *join != "" {
+		w := campaignd.Worker{URL: *join, ID: *id, Parallelism: *par, Log: os.Stderr}
+		rep, err := w.Run(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "campaignd: worker done: %d points over %d leases (%d lost), %d simulated, %d store hits\n",
+			rep.Points, rep.Leases, rep.LostLeases, rep.Simulations, rep.Store.Hits)
+		return
+	}
+
+	if *storeDir == "" {
+		fatal(errors.New("-store is required (it backs the store plane)"))
+	}
+	opts, err := sf.Options()
+	if err != nil {
+		fatal(err)
+	}
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+	store, err := runstore.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	runner.SetStore(store)
+
+	space, err := sf.Space()
+	if err != nil {
+		fatal(err)
+	}
+	plan, rows := space.Build(runner)
+
+	srv, err := campaignd.New(campaignd.ServerConfig{
+		Runner: runner, Store: store, Points: plan.Points(),
+		TTL: *ttl, Batch: *batch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	pre := srv.Stats().Dispatch.Done
+	fmt.Fprintf(os.Stderr, "campaignd: serving on %s: %d points (%d already in store), lease ttl %v, batch %d\n",
+		ln.Addr(), plan.Len(), pre, *ttl, *batch)
+
+	// Merge: stream results in plan order as workers publish them —
+	// EmitStream is the same emission loop a single-process sweep runs,
+	// which is what keeps the two outputs byte-identical.
+	csvw := sweep.NewCSV(os.Stdout, sf.Workers)
+	if err := csvw.Header(); err != nil {
+		fatal(err)
+	}
+	if err := csvw.EmitStream(srv.Stream(ctx), rows, plan.Len()); err != nil {
+		fatal(err)
+	}
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "campaignd: campaign complete: points=%d writes=%d duplicates=%d expired_leases=%d\n",
+		st.Dispatch.Points, st.Store.Writes,
+		max64(0, st.Store.Writes-int64(st.Dispatch.Points-pre)), st.Dispatch.ExpiredLeases)
+
+	// Let polling workers observe Done before the listener goes away.
+	select {
+	case <-time.After(*grace):
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "campaignd: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "campaignd:", err)
+	os.Exit(1)
+}

@@ -4,7 +4,7 @@
 //
 //	experiments [-fig all|fig1|...|fig13|table1] [-n instr] [-workers n]
 //	            [-bench BT,CG,...] [-seed s] [-cold] [-par p] [-list]
-//	            [-store DIR]
+//	            [-store DIR] [-storeop index|gc]
 //
 // Each figure prints as an aligned text table whose rows/series match
 // the paper's plot; figures that support it render rows incrementally
@@ -28,6 +28,7 @@ import (
 
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/sweep"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, csv, json")
 		chart   = flag.Int("chart", -1, "also render column N (0-based) as an ASCII bar chart")
 		store   = flag.String("store", "", "persistent run-store directory (second cache tier)")
+		storeop = flag.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit")
 		stream  = flag.Bool("stream", true, "render supporting figures row-by-row as points complete (text format)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -84,6 +86,15 @@ func main() {
 			fatal(err)
 		}
 		runner.SetStore(st)
+	}
+	if *storeop != "" {
+		if st == nil {
+			fatal(errors.New("-storeop requires -store"))
+		}
+		if err := sweep.Maint(st, *storeop, "experiments"); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var selected []experiments.Experiment

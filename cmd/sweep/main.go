@@ -25,6 +25,15 @@
 // byte-identical to an unsharded run. -storeop index lists the store's
 // entries; -storeop gc sweeps corrupt or stale ones.
 //
+// With -remote URL the persistent tier is a campaignd coordinator's
+// store plane instead of a local directory — no shared filesystem
+// needed — and -worker turns this process into a lease-based campaign
+// worker: it fetches the campaign from the coordinator, simulates
+// leased batches, and publishes results back, so the sweep's own
+// design-space flags are ignored:
+//
+//	sweep -remote http://coordinator:8417 -worker
+//
 // Usage:
 //
 //	sweep -bench UA,FT -cpc 2,4,8 -size 16,32 -lb 4 -buses 1,2 > sweep.csv
@@ -32,71 +41,94 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 
+	"sharedicache/internal/campaignd"
 	"sharedicache/internal/core"
 	"sharedicache/internal/experiments"
-	"sharedicache/internal/power"
 	"sharedicache/internal/runstore"
-	"sharedicache/internal/synth"
+	"sharedicache/internal/sweep"
 )
 
 func main() {
+	// The design-space and campaign flags are shared with cmd/campaignd
+	// (internal/sweep), so the two drivers cannot drift apart.
+	sf := sweep.RegisterFlags(flag.CommandLine)
 	var (
-		bench    = flag.String("bench", "UA,FT,LULESH", "comma-separated benchmarks")
-		cpcs     = flag.String("cpc", "2,4,8", "sharing degrees to sweep")
-		sizes    = flag.String("size", "16,32", "shared I-cache sizes in KB")
-		lbs      = flag.String("lb", "4", "line-buffer counts")
-		buses    = flag.String("buses", "1,2", "bus counts")
-		n        = flag.Uint64("n", 80_000, "master instructions per run")
-		workers  = flag.Int("workers", 8, "worker core count")
-		seed     = flag.Uint64("seed", 1, "synthesis seed")
-		cold     = flag.Bool("cold", false, "cold caches instead of steady state")
 		par      = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		storeDir = flag.String("store", "", "persistent run-store directory (second cache tier)")
+		remote   = flag.String("remote", "", "campaignd coordinator URL serving the run store (replaces -store)")
+		worker   = flag.Bool("worker", false, "with -remote: lease and simulate the coordinator's campaign instead of this sweep")
 		shardStr = flag.String("shard", "", "simulate only shard i/N of the design space into -store; no CSV")
-		merge    = flag.Bool("merge", false, "render the CSV from -store without simulating")
+		merge    = flag.Bool("merge", false, "render the CSV from the store without simulating")
 		storeop  = flag.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit")
 	)
 	flag.Parse()
 
-	benches := strings.Split(*bench, ",")
-	for _, b := range benches {
-		if _, ok := synth.ProfileByName(b); !ok {
-			fatal(fmt.Errorf("unknown benchmark %q", b))
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *storeDir != "" && *remote != "" {
+		fatal(errors.New("-store and -remote are mutually exclusive"))
 	}
-	opts := experiments.DefaultOptions()
-	opts.Workers = *workers
-	opts.Instructions = *n
-	opts.Seed = *seed
-	opts.Prewarm = !*cold
-	opts.Benchmarks = benches
+	if *worker {
+		// Worker mode: the campaign (benchmarks, axes, budgets) is the
+		// coordinator's; every design-space flag of this process is
+		// ignored so keys cannot disagree.
+		if *remote == "" {
+			fatal(errors.New("-worker requires -remote URL"))
+		}
+		w := campaignd.Worker{URL: *remote, Parallelism: *par, Log: os.Stderr}
+		rep, err := w.Run(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: worker done: %d points over %d leases (%d lost), %d simulated, %d store hits\n",
+			rep.Points, rep.Leases, rep.LostLeases, rep.Simulations, rep.Store.Hits)
+		return
+	}
+
+	opts, err := sf.Options()
+	if err != nil {
+		fatal(err)
+	}
 	opts.Parallelism = *par
 	runner, err := experiments.NewRunner(opts)
 	if err != nil {
 		fatal(err)
 	}
 
-	var store *runstore.Store
-	if *storeDir != "" {
-		if store, err = runstore.Open(*storeDir); err != nil {
+	// The persistent tier is either a local directory or a coordinator's
+	// store plane; the runner is oblivious to which.
+	var (
+		store     experiments.ResultStore
+		local     *runstore.Store
+		storeName string
+	)
+	switch {
+	case *storeDir != "":
+		if local, err = runstore.Open(*storeDir); err != nil {
 			fatal(err)
 		}
-		runner.SetStore(store)
+		store, storeName = local, local.Dir()
+		runner.SetStore(local)
+	case *remote != "":
+		rs, err := campaignd.NewRemoteStore(ctx, *remote)
+		if err != nil {
+			fatal(err)
+		}
+		store, storeName = rs, rs.URL()
+		runner.SetStore(rs)
 	}
 	if *storeop != "" {
 		if store == nil {
-			fatal(errors.New("-storeop requires -store"))
+			fatal(errors.New("-storeop requires -store or -remote"))
 		}
-		storeMaint(store, *storeop)
+		storeMaint(ctx, local, *remote, *storeop)
 		return
 	}
 	if *shardStr != "" && *merge {
@@ -105,54 +137,18 @@ func main() {
 
 	// Declare the full design space up front: per benchmark one private
 	// baseline plus every valid shared point, in CSV emission order.
-	type rowMeta struct {
-		bench             string
-		cpc, kb, lb, bus  int
-		baseIdx, pointIdx int
+	space, err := sf.Space()
+	if err != nil {
+		fatal(err)
 	}
-	baseCfg := core.DefaultConfig()
-	baseCfg.Workers = *workers
-	plan := runner.Plan()
-	baseIdx := map[string]int{}
-	var rows []rowMeta
-	for _, b := range benches {
-		baseIdx[b] = plan.Add(b, baseCfg)
-		for _, cpc := range ints(t(*cpcs)) {
-			if *workers%cpc != 0 || cpc < 2 {
-				continue
-			}
-			for _, kb := range ints(t(*sizes)) {
-				for _, lb := range ints(t(*lbs)) {
-					for _, bus := range ints(t(*buses)) {
-						cfg := core.DefaultConfig()
-						cfg.Workers = *workers
-						cfg.Organization = core.OrgWorkerShared
-						cfg.CPC = cpc
-						cfg.ICache.SizeBytes = kb << 10
-						cfg.LineBuffers = lb
-						cfg.Buses = bus
-						if err := cfg.Validate(); err != nil {
-							continue
-						}
-						rows = append(rows, rowMeta{
-							bench: b, cpc: cpc, kb: kb, lb: lb, bus: bus,
-							baseIdx: baseIdx[b], pointIdx: plan.Add(b, cfg),
-						})
-					}
-				}
-			}
-		}
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	plan, rows := space.Build(runner)
 
 	// Shard mode: simulate this shard's slice of the plan into the
 	// shared store and exit — -merge renders the CSV once all shards
 	// are done.
 	if *shardStr != "" {
 		if store == nil {
-			fatal(errors.New("-shard requires -store (shards share work through it)"))
+			fatal(errors.New("-shard requires -store or -remote (shards share work through it)"))
 		}
 		sh, err := experiments.ParseShard(*shardStr)
 		if err != nil {
@@ -171,100 +167,47 @@ func main() {
 		return
 	}
 
-	tech := power.Default45nm()
 	results := make([]*core.Result, plan.Len())
-	w := csv.NewWriter(os.Stdout)
-	write := func(record []string) {
-		if err := w.Write(record); err != nil {
-			fatal(err)
-		}
-	}
-	write([]string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
-		"time_ratio", "worker_mpki", "access_ratio", "bus_avg_wait",
-		"area_ratio", "energy_ratio"})
-
-	// emitRow renders one design point against its per-benchmark
-	// baseline, computing the baseline power report on first use.
-	baseReps := map[string]power.Report{}
-	emitRow := func(m rowMeta) {
-		base, res := results[m.baseIdx], results[m.pointIdx]
-		rep, err := tech.Evaluate(clusterFor(res.Config), activityFor(res))
+	csvw := sweep.NewCSV(os.Stdout, sf.Workers)
+	emit := func(err error) {
 		if err != nil {
 			fatal(err)
 		}
-		baseRep, ok := baseReps[m.bench]
-		if !ok {
-			if baseRep, err = tech.Evaluate(clusterFor(baseCfg), activityFor(base)); err != nil {
-				fatal(err)
-			}
-			baseReps[m.bench] = baseRep
-		}
-		_, er, ar := rep.Relative(baseRep)
-		write([]string{
-			m.bench,
-			strconv.Itoa(m.cpc), strconv.Itoa(m.kb),
-			strconv.Itoa(m.lb), strconv.Itoa(m.bus),
-			f(float64(res.Cycles) / float64(base.Cycles)),
-			f(res.WorkerMPKI()),
-			f(res.WorkerAccessRatio()),
-			f(res.Bus.AvgWait()),
-			f(ar), f(er),
-		})
 	}
-	flush := func() {
-		w.Flush()
-		// A full disk or closed pipe must not truncate the CSV
-		// silently: surface the writer's sticky error and exit non-zero.
-		if err := w.Error(); err != nil {
-			fatal(fmt.Errorf("write CSV: %w", err))
-		}
-	}
+	emit(csvw.Header())
 
 	if *merge {
 		// Merge: resolve every point from the store, simulating nothing.
 		// With identical flags the row loop below is the one the
 		// unsharded sweep runs, so the merged CSV is byte-identical.
 		if store == nil {
-			fatal(errors.New("-merge requires -store"))
+			fatal(errors.New("-merge requires -store or -remote"))
 		}
 		for i, pt := range plan.Points() {
 			res, ok := runner.Lookup(pt)
 			if !ok {
 				fatal(fmt.Errorf("store %s is missing %s on %s/cpc=%d (run the remaining shards first)",
-					store.Dir(), pt.Bench, pt.Cfg.Organization, pt.Cfg.CPC))
+					storeName, pt.Bench, pt.Cfg.Organization, pt.Cfg.CPC))
 			}
 			results[i] = res
 		}
 		for _, m := range rows {
-			emitRow(m)
+			emit(csvw.Row(m, results[m.BaseIdx], results[m.PointIdx]))
 		}
-		flush()
+		emit(csvw.Flush())
 		fmt.Fprintf(os.Stderr, "sweep: merge: %d rows from %d stored points, 0 simulated\n",
 			len(rows), plan.Len())
 		return
 	}
 
-	// Normal run: stream rows as their points complete. Plan order puts
-	// each benchmark's baseline before its design points, and rows are
-	// ordered by pointIdx, so a row is emittable as soon as its
-	// pointIdx has streamed past.
+	// Normal run: stream rows as their points complete (EmitStream
+	// renders a row as soon as its point — and, by plan order, its
+	// baseline — has streamed past).
 	ch, err := plan.RunAllStream(ctx)
 	if err != nil {
 		fatal(err)
 	}
-	next := 0
-	for pr := range ch {
-		if pr.Err != nil {
-			flush()
-			fatal(pr.Err)
-		}
-		results[pr.Index] = pr.Result
-		for next < len(rows) && rows[next].pointIdx <= pr.Index {
-			emitRow(rows[next])
-			next++
-		}
-		flush()
-	}
+	emit(csvw.EmitStream(ch, rows, plan.Len()))
 	if store != nil {
 		st := store.Stats()
 		fmt.Fprintf(os.Stderr, "sweep: %d simulated, %d store hits, %d store writes\n",
@@ -272,87 +215,36 @@ func main() {
 	}
 }
 
-// storeMaint runs the -storeop maintenance path.
-func storeMaint(store *runstore.Store, op string) {
+// storeMaint runs the -storeop maintenance path: the shared local
+// implementation (internal/sweep), or the coordinator's store plane
+// for -remote index.
+func storeMaint(ctx context.Context, local *runstore.Store, remote, op string) {
+	if local != nil {
+		if err := sweep.Maint(local, op, "sweep"); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	switch op {
 	case "index":
-		entries, err := store.Index()
+		client, err := campaignd.NewClient(remote)
+		if err != nil {
+			fatal(err)
+		}
+		entries, err := client.Index(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		for _, e := range entries {
-			prewarm := "cold"
-			if e.Key.Prewarm {
-				prewarm = "warm"
-			}
-			fmt.Printf("%s  %-10s %-13s cpc=%d %2dKB lb=%d bus=%d %s n=%d seed=%d  %dB\n",
-				e.Hash[:16], e.Key.Bench, e.Key.Config.Organization, e.Key.Config.CPC,
-				e.Key.Config.ICache.SizeBytes>>10, e.Key.Config.LineBuffers,
-				e.Key.Config.Buses, prewarm,
-				e.Key.Campaign.Instructions, e.Key.Campaign.Seed, e.Bytes)
+			fmt.Println(e)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: %d entries in %s\n", len(entries), store.Dir())
+		fmt.Fprintf(os.Stderr, "sweep: %d entries in %s\n", len(entries), client.URL())
 	case "gc":
-		removed, err := store.GC()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "sweep: gc removed %d files from %s\n", removed, store.Dir())
+		fatal(errors.New("-storeop gc runs against the store's own filesystem; run it on the coordinator"))
 	default:
 		fatal(fmt.Errorf("unknown -storeop %q (index, gc)", op))
 	}
 }
-
-// clusterFor maps a simulator config to the power model's cluster.
-func clusterFor(cfg core.Config) power.Cluster {
-	cl := power.Cluster{
-		Workers:            cfg.Workers,
-		Cache:              cfg.ICache,
-		LineBuffersPerCore: cfg.LineBuffers,
-	}
-	if cfg.Organization == core.OrgWorkerShared {
-		cl.Caches = cfg.Workers / cfg.CPC
-		cl.BusesPerCache = cfg.Buses
-		cl.BusWidthBytes = cfg.BusWidthBytes
-		cl.SharedCacheOverhead = 0.25
-		cl.Cache.Banks = cfg.Buses
-	} else {
-		cl.Caches = cfg.Workers
-	}
-	return cl
-}
-
-// activityFor extracts the energy-model counters from a result.
-func activityFor(res *core.Result) power.Activity {
-	var lineNeeds, cacheFetches uint64
-	for _, c := range res.Cores[1:] {
-		lineNeeds += c.FE.LineNeeds
-		cacheFetches += c.FE.CacheFetches
-	}
-	return power.Activity{
-		Cycles:          res.Cycles,
-		Instructions:    res.WorkerInstructions(),
-		CacheAccesses:   res.WorkerICache.Accesses,
-		BusTransactions: res.Bus.Granted,
-		LineBufferHits:  lineNeeds - cacheFetches,
-	}
-}
-
-func t(s string) []string { return strings.Split(s, ",") }
-
-func ints(parts []string) []int {
-	var out []int
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			fatal(fmt.Errorf("bad integer %q", p))
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
 func fatal(err error) {
 	if errors.Is(err, context.Canceled) {

@@ -1,0 +1,258 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/runstore"
+)
+
+// ErrLeaseGone reports that a heartbeat arrived after the lease had
+// already expired: the batch's points may have been re-leased, and the
+// worker should abandon the batch and lease fresh work.
+var ErrLeaseGone = errors.New("campaignd: lease expired or unknown")
+
+// httpTimeout bounds every store-plane and dispatch-plane request.
+const httpTimeout = 30 * time.Second
+
+// putAttempts is how often RemoteStore retries a failed publish before
+// surfacing the error; transient coordinator hiccups should not kill a
+// multi-hour simulation whose result is sitting in memory.
+const putAttempts = 3
+
+// RemoteStore resolves and publishes run-store entries over a
+// coordinator's store plane. It implements experiments.ResultStore, so
+// Runner.SetStore gives a remote campaign the same memory -> store ->
+// simulate tiering as a local one, and it preserves the runstore
+// contract: anything untrustworthy — a garbled body, a key mismatch, a
+// dead coordinator — is a miss on Get, never an error, while a Put
+// that cannot be made durable is an error after bounded retries.
+type RemoteStore struct {
+	base string
+	hc   *http.Client
+	ctx  context.Context
+
+	hits, misses, writes, bad atomic.Int64
+}
+
+// NewRemoteStore builds a client for the coordinator at baseURL (e.g.
+// "http://coordinator:8417"). The ResultStore interface carries no
+// per-call context, so ctx bounds the lifetime of every request this
+// store makes: cancelling it (Ctrl-C in the drivers) aborts in-flight
+// transfers and retry backoffs instead of stalling on HTTP timeouts.
+func NewRemoteStore(ctx context.Context, baseURL string) (*RemoteStore, error) {
+	base, err := normalizeBase(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteStore{base: base, hc: &http.Client{Timeout: httpTimeout}, ctx: ctx}, nil
+}
+
+// URL returns the coordinator base URL.
+func (rs *RemoteStore) URL() string { return rs.base }
+
+// Get resolves k from the coordinator; any failure is a miss.
+func (rs *RemoteStore) Get(k runstore.Key) (*core.Result, bool) {
+	req, err := http.NewRequestWithContext(rs.ctx, http.MethodGet, rs.base+"/v1/run/"+k.Hex(), nil)
+	if err != nil {
+		rs.misses.Add(1)
+		return nil, false
+	}
+	resp, err := rs.hc.Do(req)
+	if err != nil {
+		rs.misses.Add(1)
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		rs.misses.Add(1)
+		return nil, false
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+	if err != nil {
+		rs.misses.Add(1)
+		return nil, false
+	}
+	res, ok := runstore.Decode(raw, k)
+	if !ok {
+		rs.bad.Add(1)
+		rs.misses.Add(1)
+		return nil, false
+	}
+	rs.hits.Add(1)
+	return res, true
+}
+
+// Put publishes res under k, retrying transient failures; a response
+// the coordinator rejects outright (4xx) is final.
+func (rs *RemoteStore) Put(k runstore.Key, res *core.Result) error {
+	raw, err := runstore.Encode(k, res)
+	if err != nil {
+		return err
+	}
+	url := rs.base + "/v1/run/" + k.Hex()
+	var last error
+	for attempt := 0; attempt < putAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(time.Duration(attempt) * 250 * time.Millisecond):
+			case <-rs.ctx.Done():
+				return fmt.Errorf("campaignd: publish %s: %w", k.Bench, rs.ctx.Err())
+			}
+		}
+		req, err := http.NewRequestWithContext(rs.ctx, http.MethodPut, url, bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rs.hc.Do(req)
+		if err != nil {
+			last = err
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode < 300:
+			rs.writes.Add(1)
+			return nil
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return fmt.Errorf("campaignd: coordinator rejected entry: %s: %s",
+				resp.Status, strings.TrimSpace(string(body)))
+		default:
+			last = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+	}
+	return fmt.Errorf("campaignd: publish %s: %w", k.Bench, last)
+}
+
+// Stats reports the remote tier's traffic as seen from this client.
+func (rs *RemoteStore) Stats() runstore.Stats {
+	return runstore.Stats{
+		Hits:       rs.hits.Load(),
+		Misses:     rs.misses.Load(),
+		Writes:     rs.writes.Load(),
+		BadEntries: rs.bad.Load(),
+	}
+}
+
+// Client drives a coordinator's dispatch plane.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a dispatch-plane client for the coordinator at
+// baseURL.
+func NewClient(baseURL string) (*Client, error) {
+	base, err := normalizeBase(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{base: base, hc: &http.Client{Timeout: httpTimeout}}, nil
+}
+
+// URL returns the coordinator base URL.
+func (c *Client) URL() string { return c.base }
+
+// Campaign fetches the coordinator's campaign handshake.
+func (c *Client) Campaign(ctx context.Context) (CampaignInfo, error) {
+	var info CampaignInfo
+	err := c.call(ctx, http.MethodGet, "/v1/campaign", nil, &info)
+	return info, err
+}
+
+// Lease claims up to max plan points (0 = coordinator's default
+// batch).
+func (c *Client) Lease(ctx context.Context, worker string, max int) (LeaseGrant, error) {
+	var resp LeaseGrant
+	err := c.call(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: worker, Max: max}, &resp)
+	return resp, err
+}
+
+// Renew heartbeats a lease; ErrLeaseGone means it already expired.
+func (c *Client) Renew(ctx context.Context, lease string) error {
+	return c.call(ctx, http.MethodPost, "/v1/renew", renewRequest{Lease: lease}, nil)
+}
+
+// Complete reports a leased batch finished (results already published
+// through the store plane).
+func (c *Client) Complete(ctx context.Context, lease string, indexes []int) error {
+	return c.call(ctx, http.MethodPost, "/v1/complete", completeRequest{Lease: lease, Indexes: indexes}, nil)
+}
+
+// Statsz fetches the coordinator's counters.
+func (c *Client) Statsz(ctx context.Context) (Statsz, error) {
+	var st Statsz
+	err := c.call(ctx, http.MethodGet, "/v1/statsz", nil, &st)
+	return st, err
+}
+
+// Index fetches the coordinator store's index.
+func (c *Client) Index(ctx context.Context) ([]runstore.IndexEntry, error) {
+	var entries []runstore.IndexEntry
+	err := c.call(ctx, http.MethodGet, "/v1/index", nil, &entries)
+	return entries, err
+}
+
+// call performs one JSON request/response round trip.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusGone {
+		return ErrLeaseGone
+	}
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("campaignd: %s %s: %s: %s", method, path, resp.Status,
+			strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("campaignd: %s %s: decode response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// normalizeBase validates and trims the coordinator base URL.
+func normalizeBase(baseURL string) (string, error) {
+	base := strings.TrimRight(baseURL, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return "", fmt.Errorf("campaignd: coordinator URL %q must start with http:// or https://", baseURL)
+	}
+	return base, nil
+}

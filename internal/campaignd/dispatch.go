@@ -1,0 +1,211 @@
+package campaignd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sharedicache/internal/experiments"
+)
+
+// pointState is the dispatch lifecycle of one plan point.
+type pointState int8
+
+const (
+	pointPending pointState = iota // waiting to be leased
+	pointLeased                    // owned by a live (or not-yet-expired) lease
+	pointDone                      // result published to the store
+)
+
+// lease is one worker's claim on a batch of points. It is renewed by
+// heartbeats; once deadline passes, any dispatch operation may expire
+// it, returning its unfinished points to the queue for another worker
+// to steal.
+type lease struct {
+	id       string
+	worker   string
+	deadline time.Time
+	indexes  []int
+}
+
+// dispatch is the coordinator's work queue over one campaign plan. All
+// methods are safe for concurrent use. Lease expiry is lazy: every
+// mutating call first sweeps expired leases, so as long as any worker
+// is polling for work, crashed workers' points flow back into the
+// queue without a background janitor.
+type dispatch struct {
+	points []experiments.Point
+	ttl    time.Duration
+	batch  int
+	now    func() time.Time
+
+	mu      sync.Mutex
+	state   []pointState
+	done    []chan struct{} // done[i] closed when point i completes
+	byHash  map[string][]int
+	leases  map[string]*lease
+	seq     int
+	nDone   int
+	expired int64 // leases expired so far (observability)
+}
+
+// newDispatch builds the queue over the plan points; hashes[i] is
+// point i's content address, which lets store-plane writes complete
+// dispatch points.
+func newDispatch(points []experiments.Point, hashes []string, ttl time.Duration, batch int, now func() time.Time) *dispatch {
+	d := &dispatch{
+		points: points,
+		ttl:    ttl,
+		batch:  batch,
+		now:    now,
+		state:  make([]pointState, len(points)),
+		done:   make([]chan struct{}, len(points)),
+		byHash: make(map[string][]int, len(points)),
+		leases: map[string]*lease{},
+	}
+	for i := range points {
+		d.done[i] = make(chan struct{})
+		d.byHash[hashes[i]] = append(d.byHash[hashes[i]], i)
+	}
+	return d
+}
+
+// expireLocked returns every overdue lease's unfinished points to the
+// queue. Caller holds d.mu.
+func (d *dispatch) expireLocked() {
+	now := d.now()
+	for id, l := range d.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		for _, i := range l.indexes {
+			if d.state[i] == pointLeased {
+				d.state[i] = pointPending
+			}
+		}
+		delete(d.leases, id)
+		d.expired++
+	}
+}
+
+// markDoneLocked completes point i (idempotently). Caller holds d.mu.
+func (d *dispatch) markDoneLocked(i int) {
+	if d.state[i] == pointDone {
+		return
+	}
+	d.state[i] = pointDone
+	d.nDone++
+	close(d.done[i])
+}
+
+// completeHash marks every plan point stored under the given content
+// address as done. The store plane calls it after each successful PUT:
+// a point is complete exactly when its result is durably in the store,
+// which also lets a coordinator restarted over a warm store resume
+// instead of re-dispatching finished work.
+func (d *dispatch) completeHash(hash string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, i := range d.byHash[hash] {
+		d.markDoneLocked(i)
+	}
+}
+
+// Lease hands out up to max pending points (at most the configured
+// batch; max <= 0 means the full batch) in plan order, so early rows
+// stream out of the merge first. It returns no points when everything
+// is leased or done; allDone then distinguishes "poll again" from
+// "campaign complete".
+func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, deadline time.Time, allDone bool) {
+	if max <= 0 || max > d.batch {
+		max = d.batch
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	for i := range d.state {
+		if d.state[i] == pointPending {
+			indexes = append(indexes, i)
+			if len(indexes) == max {
+				break
+			}
+		}
+	}
+	if len(indexes) == 0 {
+		return "", nil, time.Time{}, d.nDone == len(d.points)
+	}
+	d.seq++
+	id = fmt.Sprintf("lease-%d", d.seq)
+	deadline = d.now().Add(d.ttl)
+	for _, i := range indexes {
+		d.state[i] = pointLeased
+	}
+	d.leases[id] = &lease{id: id, worker: worker, deadline: deadline, indexes: indexes}
+	return id, indexes, deadline, false
+}
+
+// Renew extends a lease's deadline; it reports false when the lease
+// has already expired (its points may be leased to someone else — the
+// caller should abandon the batch).
+func (d *dispatch) Renew(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	l, ok := d.leases[id]
+	if !ok {
+		return false
+	}
+	l.deadline = d.now().Add(d.ttl)
+	return true
+}
+
+// Complete marks the given points done and releases the lease. It is
+// deliberately permissive: an unknown (expired) lease still completes
+// its points, because completion only ever follows a durable store
+// write — the late worker's results are real, and simulation is
+// deterministic, so whichever worker publishes first wins bytes that
+// are identical anyway. Out-of-range indexes report an error.
+func (d *dispatch) Complete(id string, indexes []int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, i := range indexes {
+		if i < 0 || i >= len(d.points) {
+			return fmt.Errorf("campaignd: point index %d out of range", i)
+		}
+	}
+	for _, i := range indexes {
+		d.markDoneLocked(i)
+	}
+	delete(d.leases, id)
+	d.expireLocked()
+	return nil
+}
+
+// Done exposes point i's completion latch.
+func (d *dispatch) Done(i int) <-chan struct{} { return d.done[i] }
+
+// DispatchStats is a snapshot of the queue for /v1/statsz.
+type DispatchStats struct {
+	Points, Done, Leased, Pending int
+	Leases                        int
+	ExpiredLeases                 int64
+}
+
+// Stats snapshots the queue (and sweeps expired leases while at it).
+func (d *dispatch) Stats() DispatchStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	st := DispatchStats{Points: len(d.points), Leases: len(d.leases), ExpiredLeases: d.expired}
+	for _, s := range d.state {
+		switch s {
+		case pointDone:
+			st.Done++
+		case pointLeased:
+			st.Leased++
+		default:
+			st.Pending++
+		}
+	}
+	return st
+}

@@ -1,0 +1,154 @@
+package campaignd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sharedicache/internal/experiments"
+)
+
+// fakeClock is a manually advanced clock for deterministic lease
+// expiry tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// testDispatch builds a queue over n synthetic points with distinct
+// hashes.
+func testDispatch(n int, ttl time.Duration, batch int, clk *fakeClock) *dispatch {
+	points := make([]experiments.Point, n)
+	hashes := make([]string, n)
+	for i := range points {
+		points[i] = experiments.Point{Bench: fmt.Sprintf("B%d", i)}
+		hashes[i] = fmt.Sprintf("hash-%d", i)
+	}
+	return newDispatch(points, hashes, ttl, batch, clk.now)
+}
+
+func mustLease(t *testing.T, d *dispatch, worker string, want []int) string {
+	t.Helper()
+	id, got, _, done := d.Lease(worker, 0)
+	if done {
+		t.Fatalf("%s: campaign reported done", worker)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s leased %v, want %v", worker, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s leased %v, want %v", worker, got, want)
+		}
+	}
+	return id
+}
+
+// TestLeaseLifecycle walks the happy path: plan-order batches, no
+// double-granting, completion, and the terminal all-done signal.
+func TestLeaseLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	d := testDispatch(5, time.Minute, 2, clk)
+
+	l1 := mustLease(t, d, "w1", []int{0, 1})
+	l2 := mustLease(t, d, "w2", []int{2, 3})
+	l3 := mustLease(t, d, "w1", []int{4})
+
+	// Everything is leased: a further request gets nothing but must not
+	// claim the campaign is over.
+	if id, pts, _, done := d.Lease("w3", 0); id != "" || len(pts) != 0 || done {
+		t.Fatalf("over-subscribed lease = (%q, %v, done=%v), want empty and not done", id, pts, done)
+	}
+
+	for _, c := range []struct {
+		id      string
+		indexes []int
+	}{{l1, []int{0, 1}}, {l2, []int{2, 3}}, {l3, []int{4}}} {
+		if err := d.Complete(c.id, c.indexes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, done := d.Lease("w1", 0); !done {
+		t.Fatal("campaign not done after all points completed")
+	}
+	st := d.Stats()
+	if st.Done != 5 || st.Pending != 0 || st.Leased != 0 || st.Leases != 0 {
+		t.Fatalf("final stats = %+v", st)
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case <-d.Done(i):
+		default:
+			t.Fatalf("point %d done latch not closed", i)
+		}
+	}
+}
+
+// TestLeaseExpiryStealing pins the work-stealing contract: a lease
+// whose worker stops heartbeating expires, its unfinished points are
+// re-leased to another worker, and a renewal attempt on the dead lease
+// reports it gone.
+func TestLeaseExpiryStealing(t *testing.T) {
+	clk := newFakeClock()
+	d := testDispatch(3, time.Minute, 2, clk)
+
+	l1 := mustLease(t, d, "crasher", []int{0, 1})
+	clk.advance(30 * time.Second)
+	if !d.Renew(l1) {
+		t.Fatal("half-way renewal refused")
+	}
+
+	// The renewal pushed the deadline out; the lease survives the
+	// original deadline...
+	clk.advance(45 * time.Second)
+	if _, pts, _, _ := d.Lease("thief", 0); len(pts) != 1 || pts[0] != 2 {
+		t.Fatalf("leased %v while lease-1 still live, want [2]", pts)
+	}
+	// ...but once the renewed deadline passes, the points are stolen in
+	// plan order by the next lease request.
+	clk.advance(16 * time.Second)
+	l3 := mustLease(t, d, "thief", []int{0, 1})
+	if d.Renew(l1) {
+		t.Fatal("expired lease renewed")
+	}
+	if st := d.Stats(); st.ExpiredLeases != 1 {
+		t.Fatalf("ExpiredLeases = %d, want 1", st.ExpiredLeases)
+	}
+
+	// The crashed worker limps back and completes anyway — its results
+	// hit the store before it died, so completion is accepted and the
+	// thief's overlapping completion is idempotent.
+	if err := d.Complete(l1, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Complete(l3, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Done != 2 {
+		t.Fatalf("Done = %d after double completion, want 2 (idempotent)", st.Done)
+	}
+}
+
+// TestCompleteValidation pins index validation and the store-plane
+// completion path.
+func TestCompleteValidation(t *testing.T) {
+	clk := newFakeClock()
+	d := testDispatch(2, time.Minute, 8, clk)
+	if err := d.Complete("nope", []int{5}); err == nil {
+		t.Fatal("out-of-range completion accepted")
+	}
+
+	// A store-plane PUT completes the point without any lease at all.
+	d.completeHash("hash-1")
+	if st := d.Stats(); st.Done != 1 {
+		t.Fatalf("Done = %d after completeHash, want 1", st.Done)
+	}
+	d.completeHash("hash-1") // idempotent
+	d.completeHash("unknown-hash")
+	if st := d.Stats(); st.Done != 1 {
+		t.Fatalf("Done = %d after redundant completeHash, want 1", st.Done)
+	}
+}

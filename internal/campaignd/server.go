@@ -1,0 +1,309 @@
+// Package campaignd is the distributed campaign coordinator: it serves
+// the on-disk run store over HTTP (the store plane) and dispatches a
+// campaign plan to remote workers under TTL leases (the dispatch
+// plane), so a design-space sweep fans out across machines with no
+// shared filesystem.
+//
+// # Store plane
+//
+//	GET /v1/run/{hash}   canonical entry bytes, 404 on miss
+//	PUT /v1/run/{hash}   publish an entry (validated, atomic), 204
+//	GET /v1/index        JSON index of trustworthy entries
+//	GET /v1/statsz       store + dispatch counters
+//
+// Entries travel in the runstore wire encoding and are validated on
+// both ends, so the store's corruption-as-miss semantics survive the
+// network hop: the server never serves debris, and a client treats a
+// garbled response as a miss, never an error. RemoteStore implements
+// the experiments.ResultStore interface over this plane, so a Runner
+// pointed at a coordinator gets the same memory -> store -> simulate
+// tiering as one pointed at a local directory.
+//
+// # Dispatch plane
+//
+//	GET  /v1/campaign    campaign options + plan size + lease TTL
+//	POST /v1/lease       claim a batch of plan points under a TTL lease
+//	POST /v1/renew       heartbeat: extend a lease's deadline
+//	POST /v1/complete    report a batch finished, release the lease
+//
+// Workers lease batches in plan order, heartbeat to keep them, publish
+// each result through the store plane, then complete the lease. A
+// worker that dies simply stops heartbeating: its lease expires and
+// the unfinished points return to the queue for the surviving workers
+// to steal. A point is *done* exactly when its result is durably in
+// the store — the store plane marks points complete on PUT — so a
+// coordinator restarted over a warm store resumes where it left off,
+// and Server.Stream can merge results in plan order while the
+// campaign is still running.
+package campaignd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sharedicache/internal/experiments"
+	"sharedicache/internal/runstore"
+)
+
+// Default dispatch tuning; ServerConfig overrides.
+const (
+	DefaultTTL   = 30 * time.Second
+	DefaultBatch = 8
+)
+
+// maxEntryBytes bounds a store-plane PUT body.
+const maxEntryBytes = 16 << 20
+
+// ServerConfig assembles a coordinator.
+type ServerConfig struct {
+	// Runner defines the campaign: its options are served to workers
+	// (so every worker computes identical store keys) and its attached
+	// store resolves merged results. The caller must have attached
+	// Store to it.
+	Runner *experiments.Runner
+	// Store backs the store plane.
+	Store *runstore.Store
+	// Points is the campaign plan in plan order. May be empty: the
+	// server then degenerates to a pure network store.
+	Points []experiments.Point
+	// TTL is the lease lifetime (default DefaultTTL); a worker must
+	// heartbeat within it or its lease expires back onto the queue.
+	TTL time.Duration
+	// Batch is the most points one lease hands out (default
+	// DefaultBatch).
+	Batch int
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Server coordinates one campaign. Create with New, expose with
+// Handler, merge with Stream.
+type Server struct {
+	runner *experiments.Runner
+	store  *runstore.Store
+	points []experiments.Point
+	d      *dispatch
+	mux    *http.ServeMux
+}
+
+// CampaignInfo is the dispatch-plane handshake: everything a worker
+// needs to build a Runner whose store keys match the coordinator's.
+type CampaignInfo struct {
+	Options   experiments.Options
+	Points    int
+	TTLMillis int64
+	Batch     int
+}
+
+// LeasedPoint is one dispatched plan point.
+type LeasedPoint struct {
+	Index int
+	Point experiments.Point
+}
+
+// leaseRequest/renewRequest/completeRequest are the dispatch-plane
+// request bodies.
+type leaseRequest struct {
+	Worker string
+	Max    int
+}
+
+// LeaseGrant is the coordinator's answer to a lease request: a batch
+// of plan points owned until TTLMillis elapses without a renewal.
+type LeaseGrant struct {
+	Lease     string
+	TTLMillis int64
+	Points    []LeasedPoint
+	// Done reports the whole campaign complete; an empty Points with
+	// Done false means "all remaining work is leased, poll again".
+	Done bool
+}
+
+type renewRequest struct{ Lease string }
+
+type completeRequest struct {
+	Lease   string
+	Indexes []int
+}
+
+// Statsz is the /v1/statsz body.
+type Statsz struct {
+	Store    runstore.Stats
+	Dispatch DispatchStats
+}
+
+// New builds a coordinator over a plan and its backing store.
+func New(cfg ServerConfig) (*Server, error) {
+	if cfg.Runner == nil || cfg.Store == nil {
+		return nil, errors.New("campaignd: ServerConfig needs a Runner and a Store")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatch
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	s := &Server{
+		runner: cfg.Runner,
+		store:  cfg.Store,
+		points: append([]experiments.Point(nil), cfg.Points...),
+	}
+	hashes := make([]string, len(s.points))
+	for i, pt := range s.points {
+		hashes[i] = cfg.Runner.PointKey(pt).Hex()
+	}
+	s.d = newDispatch(s.points, hashes, cfg.TTL, cfg.Batch, cfg.now)
+	// Resume: points whose results already sit in the store are done —
+	// the campaign's source of truth is the store, not the queue.
+	for i := range s.points {
+		if s.store.ContainsHash(hashes[i]) {
+			s.d.completeHash(hashes[i])
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/run/{hash}", s.handleGetRun)
+	s.mux.HandleFunc("PUT /v1/run/{hash}", s.handlePutRun)
+	s.mux.HandleFunc("GET /v1/index", s.handleIndex)
+	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/campaign", s.handleCampaign)
+	s.mux.HandleFunc("POST /v1/lease", s.handleLease)
+	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
+	s.mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	return s, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots both planes.
+func (s *Server) Stats() Statsz {
+	return Statsz{Store: s.store.Stats(), Dispatch: s.d.Stats()}
+}
+
+// --- store plane ---
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !runstore.ValidHash(hash) {
+		http.Error(w, "malformed content address", http.StatusBadRequest)
+		return
+	}
+	raw, ok := s.store.GetRaw(hash)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
+}
+
+func (s *Server) handlePutRun(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !runstore.ValidHash(hash) {
+		http.Error(w, "malformed content address", http.StatusBadRequest)
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k, res, ok := runstore.DecodeEntry(raw)
+	if !ok || k.Hex() != hash {
+		http.Error(w, "entry does not verify against its content address", http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Put(k, res); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The durable write IS the point's completion; the dispatch plane's
+	// Complete only releases the lease.
+	s.d.completeHash(hash)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.store.Index()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, entries)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// --- dispatch plane ---
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, CampaignInfo{
+		Options:   s.runner.Options(),
+		Points:    len(s.points),
+		TTLMillis: s.d.ttl.Milliseconds(),
+		Batch:     s.d.batch,
+	})
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, indexes, _, allDone := s.d.Lease(req.Worker, req.Max)
+	resp := LeaseGrant{Lease: id, TTLMillis: s.d.ttl.Milliseconds(), Done: allDone}
+	for _, i := range indexes {
+		resp.Points = append(resp.Points, LeasedPoint{Index: i, Point: s.points[i]})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req renewRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !s.d.Renew(req.Lease) {
+		http.Error(w, "lease expired or unknown", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := s.d.Complete(req.Lease, req.Indexes); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the client's decoder will fail.
+		return
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}

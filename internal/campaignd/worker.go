@@ -1,0 +1,247 @@
+package campaignd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sharedicache/internal/experiments"
+	"sharedicache/internal/runstore"
+)
+
+// Worker leases batches of design points from a coordinator, simulates
+// them with a local Runner whose second cache tier is the
+// coordinator's store plane, and completes the leases. Both cmd/sweep
+// -remote -worker and cmd/campaignd -join run exactly this loop.
+type Worker struct {
+	// URL is the coordinator base URL.
+	URL string
+	// ID names this worker in leases (default "host-pid").
+	ID string
+	// Parallelism bounds concurrent simulations (0 = all cores). It is
+	// a scheduling option, excluded from the campaign fingerprint, so
+	// heterogeneous workers still compute identical store keys.
+	Parallelism int
+	// Max bounds points per lease (0 = the coordinator's batch size).
+	Max int
+	// Log receives progress lines; nil means silent.
+	Log io.Writer
+}
+
+// WorkerReport summarises one worker's share of a campaign.
+type WorkerReport struct {
+	// Points is how many design points this worker completed.
+	Points int
+	// Simulations is how many it actually simulated (the difference
+	// was resolved from the coordinator's store).
+	Simulations int
+	// Leases counts granted leases; LostLeases counts batches abandoned
+	// because the lease expired under us (the work was stolen).
+	Leases, LostLeases int
+	// Store is the remote tier's traffic as seen from this worker.
+	Store runstore.Stats
+}
+
+// Run executes the worker loop until the campaign completes, the
+// context dies, or a simulation fails. Joining a coordinator that is
+// still starting up is tolerated with a short handshake retry.
+func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
+	client, err := NewClient(w.URL)
+	if err != nil {
+		return rep, err
+	}
+	store, err := NewRemoteStore(ctx, w.URL)
+	if err != nil {
+		return rep, err
+	}
+	id := w.ID
+	if id == "" {
+		host, _ := os.Hostname()
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	info, err := w.handshake(ctx, client)
+	if err != nil {
+		return rep, err
+	}
+	opts := info.Options
+	opts.Parallelism = w.Parallelism
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		return rep, fmt.Errorf("campaignd: coordinator served unusable options: %w", err)
+	}
+	runner.SetStore(store)
+
+	ttl := time.Duration(info.TTLMillis) * time.Millisecond
+	poll := clamp(ttl/5, 10*time.Millisecond, time.Second)
+	defer func() {
+		rep.Simulations = runner.Simulations()
+		rep.Store = store.Stats()
+	}()
+
+	for {
+		lr, err := w.lease(ctx, client, id)
+		if err != nil {
+			return rep, err
+		}
+		if lr.Done {
+			return rep, nil
+		}
+		if len(lr.Points) == 0 {
+			// Everything left is leased to someone else; poll again —
+			// each poll also drives the coordinator's expiry sweep, which
+			// is what lets us steal a crashed worker's points.
+			select {
+			case <-time.After(poll):
+				continue
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			}
+		}
+		rep.Leases++
+		w.logf("lease %s: %d points", lr.Lease, len(lr.Points))
+
+		done, lost, err := w.runBatch(ctx, client, runner, store, lr, ttl)
+		rep.Points += done
+		if err != nil {
+			return rep, err
+		}
+		if lost {
+			rep.LostLeases++
+			w.logf("lease %s expired under us; re-leasing", lr.Lease)
+		}
+	}
+}
+
+// runBatch simulates one leased batch under a heartbeat. It reports
+// how many points completed and whether the batch was abandoned
+// because the lease was lost. Even an abandoned batch counts the
+// points it durably published before stopping — those are done at the
+// coordinator (a PUT marks its point complete) and will never be
+// leased to anyone else, so dropping them would understate this
+// worker's share.
+func (w *Worker) runBatch(ctx context.Context, client *Client, runner *experiments.Runner, store *RemoteStore, lr LeaseGrant, ttl time.Duration) (int, bool, error) {
+	batchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat: renew at a third of the TTL; a Gone response means the
+	// coordinator already gave our points away, so stop simulating them.
+	leaseLost := make(chan struct{})
+	hbStopped := make(chan struct{})
+	go func() {
+		defer close(hbStopped)
+		tick := time.NewTicker(clamp(ttl/3, 5*time.Millisecond, time.Minute))
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if err := client.Renew(batchCtx, lr.Lease); errors.Is(err, ErrLeaseGone) {
+					close(leaseLost)
+					cancel()
+					return
+				}
+			case <-batchCtx.Done():
+				return
+			}
+		}
+	}()
+
+	points := make([]experiments.Point, len(lr.Points))
+	indexes := make([]int, len(lr.Points))
+	for i, lp := range lr.Points {
+		points[i] = lp.Point
+		indexes[i] = lp.Index
+	}
+	writesBefore := store.Stats().Writes
+	_, err := runner.Plan(points...).RunAll(batchCtx)
+	cancel()
+	<-hbStopped
+
+	if err != nil {
+		select {
+		case <-leaseLost:
+			// Abandoned, not failed. The writes delta is exactly this
+			// batch's published (hence completed) points: the runner is
+			// ours alone and idle between batches.
+			return int(store.Stats().Writes - writesBefore), true, nil
+		default:
+		}
+		if ctx.Err() != nil {
+			return 0, false, ctx.Err()
+		}
+		return 0, false, err
+	}
+
+	// Every result is already durably published (RunAll's write-back is
+	// synchronous), so a failed Complete only delays lease release: the
+	// store-plane writes have marked the points done regardless.
+	if err := client.Complete(ctx, lr.Lease, indexes); err != nil && !errors.Is(err, ErrLeaseGone) {
+		w.logf("complete %s: %v (results are already published)", lr.Lease, err)
+	}
+	return len(points), false, nil
+}
+
+// handshake fetches the campaign info, tolerating a coordinator that
+// is still binding its listener.
+func (w *Worker) handshake(ctx context.Context, client *Client) (CampaignInfo, error) {
+	var last error
+	for attempt := 0; attempt < 20; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(250 * time.Millisecond):
+			case <-ctx.Done():
+				return CampaignInfo{}, ctx.Err()
+			}
+		}
+		info, err := client.Campaign(ctx)
+		if err == nil {
+			return info, nil
+		}
+		last = err
+	}
+	return CampaignInfo{}, fmt.Errorf("campaignd: coordinator unreachable: %w", last)
+}
+
+// lease claims work, retrying transient transport errors so a worker
+// survives a coordinator hiccup (or its graceful-shutdown window)
+// without aborting the whole campaign.
+func (w *Worker) lease(ctx context.Context, client *Client, id string) (LeaseGrant, error) {
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-ctx.Done():
+				return LeaseGrant{}, ctx.Err()
+			}
+		}
+		lr, err := client.Lease(ctx, id, w.Max)
+		if err == nil {
+			return lr, nil
+		}
+		if ctx.Err() != nil {
+			return LeaseGrant{}, ctx.Err()
+		}
+		last = err
+	}
+	return LeaseGrant{}, fmt.Errorf("campaignd: lease: %w", last)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "worker: "+format+"\n", args...)
+	}
+}
+
+func clamp(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

@@ -142,7 +142,7 @@ type Runner struct {
 
 	mu    sync.Mutex
 	runs  map[runKey]*runEntry
-	store *runstore.Store
+	store ResultStore
 
 	// sims counts simulations actually executed (cache misses in both
 	// tiers); the singleflight regression tests pin it against
@@ -176,17 +176,37 @@ func NewRunner(opts Options) (*Runner, error) {
 // Options returns the campaign options.
 func (r *Runner) Options() Options { return r.opts }
 
+// ResultStore is the persistent second cache tier a Runner consumes:
+// Get resolves a design point some other process may have simulated,
+// Put publishes a fresh simulation for them, and Stats reports the
+// traffic so drivers can account for the campaign's work. The on-disk
+// *runstore.Store implements it for processes sharing a filesystem;
+// the campaign coordinator's RemoteStore implements it over HTTP, so
+// the memory -> store -> simulate tiering is oblivious to where the
+// store actually lives.
+//
+// Implementations must be safe for concurrent use and must preserve
+// the runstore contract: Get treats anything untrustworthy as a miss
+// (never an error), and Put either durably publishes the result or
+// returns an error — a campaign whose shards cannot see each other's
+// results is broken, not degraded.
+type ResultStore interface {
+	Get(runstore.Key) (*core.Result, bool)
+	Put(runstore.Key, *core.Result) error
+	Stats() runstore.Stats
+}
+
 // SetStore attaches a persistent result store as the second cache
 // tier. Attach it before running plans; results already cached in
 // memory are not written back retroactively.
-func (r *Runner) SetStore(s *runstore.Store) {
+func (r *Runner) SetStore(s ResultStore) {
 	r.mu.Lock()
 	r.store = s
 	r.mu.Unlock()
 }
 
 // Store returns the attached persistent store, or nil.
-func (r *Runner) Store() *runstore.Store {
+func (r *Runner) Store() ResultStore {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.store
@@ -314,7 +334,7 @@ func (r *Runner) simulate(ctx context.Context, bench string, cfg core.Config, pr
 // is attached, then simulation with a write-back. A persist failure is
 // surfaced as an error — a sharded campaign whose shards cannot see
 // each other's results is broken, not degraded.
-func (r *Runner) executeOrLoad(st *runstore.Store, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+func (r *Runner) executeOrLoad(st ResultStore, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
 	if st != nil {
 		if res, ok := st.Get(r.storeKey(bench, cfg, prewarm)); ok {
 			return res, nil

@@ -169,19 +169,85 @@ func TestLookupWithoutStore(t *testing.T) {
 	}
 }
 
-// TestShardValidation pins the i/N parsing and range rules.
+// TestLookupStoreOnly pins that Lookup resolves purely from the store:
+// it never simulates, it misses on absent points even when the point
+// is cheap to compute, and it honours the Cold flag and campaign
+// prewarm policy when deriving the key.
+func TestLookupStoreOnly(t *testing.T) {
+	dir := t.TempDir()
+	r := storeRunner(t, dir)
+	warm := Point{Bench: "FT", Cfg: sharedConfig(8, 16, 4, 2)}
+	cold := Point{Bench: "FT", Cfg: sharedConfig(8, 16, 4, 2), Cold: true}
+
+	// Absent: a miss, and crucially zero simulations.
+	if _, ok := r.Lookup(warm); ok {
+		t.Fatal("Lookup hit on an empty store")
+	}
+	if got := r.Simulations(); got != 0 {
+		t.Fatalf("Lookup simulated %d points; it must never simulate", got)
+	}
+
+	// Populate only the warm variant; the cold variant stays a miss
+	// because Cold is part of the identity.
+	res, err := r.Simulate(warm.Bench, warm.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup(warm)
+	if !ok {
+		t.Fatal("Lookup missed a stored point")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatal("Lookup returned a different result than the simulation stored")
+	}
+	if _, ok := r.Lookup(cold); ok {
+		t.Fatal("Lookup conflated the cold variant with the warm one")
+	}
+
+	// A fresh runner over the same directory (a separate merge process,
+	// in effect) resolves the point with zero simulations of its own.
+	other := storeRunner(t, dir)
+	if _, ok := other.Lookup(warm); !ok {
+		t.Fatal("second process missed the stored point")
+	}
+	if other.Simulations() != 0 {
+		t.Fatal("second process simulated during Lookup")
+	}
+}
+
+// TestShardValidation pins the i/N parsing and range rules against the
+// full zoo of malformed CLI spellings: zero or out-of-range indexes
+// (0/N, i>N), negatives, non-numeric parts, whitespace, trailing
+// garbage, missing halves and overflow.
 func TestShardValidation(t *testing.T) {
 	if sh, err := ParseShard("2/4"); err != nil || sh != (Shard{Index: 2, Count: 4}) {
 		t.Fatalf("ParseShard(2/4) = %v, %v", sh, err)
 	}
-	for _, bad := range []string{"", "3", "0/4", "5/4", "-1/4", "a/b", "1/0", "1/2x", "1/2,2/2", "1/2/3"} {
-		if _, err := ParseShard(bad); err == nil {
-			t.Fatalf("ParseShard(%q) accepted", bad)
+	if sh, err := ParseShard("1/1"); err != nil || sh != (Shard{Index: 1, Count: 1}) {
+		t.Fatalf("ParseShard(1/1) = %v, %v", sh, err)
+	}
+	bad := []string{
+		"", "3", "/", "1/", "/4", // missing halves
+		"0/4", "5/4", "4/0", "1/0", // out of range: i=0, i>N, N=0
+		"-1/4", "1/-4", "-1/-4", // negatives
+		"a/b", "one/four", "1/4/", "1/2x", "x1/2", "1/2,2/2", "1/2/3", // garbage
+		" 1/2", "1 /2", "1/ 2", "1/2 ", // whitespace is not trimmed silently
+		"99999999999999999999/4", "1/99999999999999999999", // overflow
+	}
+	for _, s := range bad {
+		if _, err := ParseShard(s); err == nil {
+			t.Fatalf("ParseShard(%q) accepted", s)
 		}
 	}
 	r := smallRunner(t, nil)
 	if _, err := r.Plan().Shard(Shard{Index: 3, Count: 2}); err == nil {
 		t.Fatal("Plan.Shard accepted an out-of-range shard")
+	}
+	if _, err := r.Plan().Shard(Shard{Index: 0, Count: 2}); err == nil {
+		t.Fatal("Plan.Shard accepted shard index 0")
+	}
+	if _, err := r.Plan().Shard(Shard{Index: 1, Count: 0}); err == nil {
+		t.Fatal("Plan.Shard accepted a zero shard count")
 	}
 }
 

@@ -1,11 +1,12 @@
 package runstore
 
 import (
-	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // IndexEntry describes one trustworthy store entry.
@@ -16,6 +17,20 @@ type IndexEntry struct {
 	Key Key
 	// Bytes is the entry's size on disk.
 	Bytes int64
+}
+
+// String renders the one-line human-readable index form shared by the
+// -storeop index listings of cmd/sweep and cmd/experiments.
+func (e IndexEntry) String() string {
+	prewarm := "cold"
+	if e.Key.Prewarm {
+		prewarm = "warm"
+	}
+	return fmt.Sprintf("%s  %-10s %-13s cpc=%d %2dKB lb=%d bus=%d %s n=%d seed=%d  %dB",
+		e.Hash[:16], e.Key.Bench, e.Key.Config.Organization, e.Key.Config.CPC,
+		e.Key.Config.ICache.SizeBytes>>10, e.Key.Config.LineBuffers,
+		e.Key.Config.Buses, prewarm,
+		e.Key.Campaign.Instructions, e.Key.Campaign.Seed, e.Bytes)
 }
 
 // Index lists every valid entry in the store, sorted by hash. Corrupt
@@ -44,10 +59,18 @@ func (s *Store) Index() ([]IndexEntry, error) {
 	return out, nil
 }
 
+// tmpGrace is how old a temp file must be before GC treats it as
+// orphaned. A temp file younger than this may belong to a live writer
+// that is about to rename it into place; deleting it would make that
+// Put fail. One left by a crashed writer only gets older.
+const tmpGrace = time.Hour
+
 // GC removes everything Get would refuse to trust — unparsable
 // entries, entries of another format version, entries whose content
-// does not match their filename — plus leftover temp files from
-// interrupted writes. It returns how many files were removed.
+// does not match their filename — plus orphaned temp files left behind
+// by crashed writers. Temp files younger than tmpGrace are spared:
+// they may be in-flight writes, and removing one would fail a live
+// Put's rename. It returns how many files were removed.
 func (s *Store) GC() (removed int, err error) {
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -61,6 +84,10 @@ func (s *Store) GC() (removed int, err error) {
 		path := filepath.Join(s.dir, name)
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
+			info, err := de.Info()
+			if err != nil || time.Since(info.ModTime()) < tmpGrace {
+				continue
+			}
 			if os.Remove(path) == nil {
 				removed++
 			}
@@ -82,10 +109,9 @@ func (s *Store) readEntry(path, hash string) (entry, int64, bool) {
 	if err != nil {
 		return entry{}, 0, false
 	}
-	var e entry
-	if err := json.Unmarshal(raw, &e); err != nil ||
-		e.Version != FormatVersion || e.Result == nil || e.Key.Hex() != hash {
+	k, res, ok := DecodeEntry(raw)
+	if !ok || k.Hex() != hash {
 		return entry{}, 0, false
 	}
-	return e, int64(len(raw)), true
+	return entry{Version: FormatVersion, Key: k, Result: res}, int64(len(raw)), true
 }

@@ -130,13 +130,65 @@ func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, k.Hex()+entrySuffix)
 }
 
-// entry is the on-disk schema. The full key is stored alongside the
-// result so reads can verify the file really holds what its name
-// claims (guarding against collisions, renames and format drift).
+// entry is the on-disk and wire schema. The full key is stored
+// alongside the result so reads can verify the file really holds what
+// its name claims (guarding against collisions, renames and format
+// drift).
 type entry struct {
 	Version int
 	Key     Key
 	Result  *core.Result
+}
+
+// Encode renders the canonical entry bytes for one result — the exact
+// representation Put writes to disk and the network store plane ships
+// over HTTP.
+func Encode(k Key, res *core.Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("runstore: nil result for %s", k.Bench)
+	}
+	raw, err := json.Marshal(entry{Version: FormatVersion, Key: k, Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("runstore: marshal entry: %w", err)
+	}
+	return raw, nil
+}
+
+// DecodeEntry parses entry bytes and reports whether they are
+// trustworthy: parseable, of the current format version, and carrying
+// a result. Callers that know which key (or content address) they
+// asked for must additionally compare it against the returned key —
+// Decode and GetRaw do.
+func DecodeEntry(raw []byte) (Key, *core.Result, bool) {
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil ||
+		e.Version != FormatVersion || e.Result == nil {
+		return Key{}, nil, false
+	}
+	return e.Key, e.Result, true
+}
+
+// Decode parses entry bytes and validates them against the key the
+// caller asked for, preserving corruption-as-miss semantics across a
+// network hop: a garbled, stale or mislabelled payload is a miss,
+// never an error.
+func Decode(raw []byte, want Key) (*core.Result, bool) {
+	k, res, ok := DecodeEntry(raw)
+	if !ok || k != want {
+		return nil, false
+	}
+	return res, true
+}
+
+// ValidHash reports whether h is a plausible content address (64 hex
+// characters) — the store plane rejects anything else before touching
+// the filesystem.
+func ValidHash(h string) bool {
+	if len(h) != 2*sha256.Size {
+		return false
+	}
+	_, err := hex.DecodeString(h)
+	return err == nil
 }
 
 // Get returns the stored result for k, or (nil, false) on a miss. A
@@ -148,27 +200,59 @@ func (s *Store) Get(k Key) (*core.Result, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	var e entry
-	if err := json.Unmarshal(raw, &e); err != nil ||
-		e.Version != FormatVersion || e.Key != k || e.Result == nil {
+	if res, ok := Decode(raw, k); ok {
+		s.hits.Add(1)
+		return res, true
+	}
+	s.bad.Add(1)
+	s.misses.Add(1)
+	return nil, false
+}
+
+// GetRaw returns the canonical entry bytes stored under the given
+// content address, validating them first: a file that Get would refuse
+// to trust is a miss here too, so the network store plane can never
+// serve debris.
+func (s *Store) GetRaw(hash string) ([]byte, bool) {
+	if !ValidHash(hash) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	raw, err := os.ReadFile(filepath.Join(s.dir, hash+entrySuffix))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	if k, _, ok := DecodeEntry(raw); !ok || k.Hex() != hash {
 		s.bad.Add(1)
 		s.misses.Add(1)
 		return nil, false
 	}
 	s.hits.Add(1)
-	return e.Result, true
+	return raw, true
+}
+
+// ContainsHash reports whether a trustworthy entry with the given
+// content address is on disk. It is a maintenance probe — the campaign
+// coordinator uses it to resume a half-finished campaign from a warm
+// store — and deliberately does not touch the traffic counters. Taking
+// the precomputed address (rather than a Key) spares callers that
+// already hold one from re-hashing the key.
+func (s *Store) ContainsHash(hash string) bool {
+	if !ValidHash(hash) {
+		return false
+	}
+	_, _, ok := s.readEntry(filepath.Join(s.dir, hash+entrySuffix), hash)
+	return ok
 }
 
 // Put persists res under k atomically: the entry is written to a temp
 // file in the store directory and renamed into place, so a reader (or
 // a concurrent writer of the same key) never observes a partial entry.
 func (s *Store) Put(k Key, res *core.Result) error {
-	if res == nil {
-		return fmt.Errorf("runstore: nil result for %s", k.Bench)
-	}
-	raw, err := json.Marshal(entry{Version: FormatVersion, Key: k, Result: res})
+	raw, err := Encode(k, res)
 	if err != nil {
-		return fmt.Errorf("runstore: marshal entry: %w", err)
+		return err
 	}
 	tmp, err := os.CreateTemp(s.dir, tmpPattern)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sharedicache/internal/core"
 )
@@ -197,7 +198,14 @@ func TestIndexAndGC(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(s.dir, strings.Repeat("cd", 32)+entrySuffix), good, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(s.dir, "put-123.tmp"), []byte("partial"), 0o644); err != nil {
+	orphan := filepath.Join(s.dir, "put-123.tmp")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Age the temp file past the grace period so GC treats it as a
+	// crashed writer's leftover rather than an in-flight write.
+	old := time.Now().Add(-2 * tmpGrace)
+	if err := os.Chtimes(orphan, old, old); err != nil {
 		t.Fatal(err)
 	}
 
@@ -229,6 +237,90 @@ func TestIndexAndGC(t *testing.T) {
 	}
 	if again, _ := s.GC(); again != 0 {
 		t.Fatalf("second GC removed %d files, want 0", again)
+	}
+}
+
+// TestGCSpareLiveTempFiles is the regression test for the orphaned-tmp
+// sweep: GC must remove temp files abandoned by crashed writers but
+// leave fresh ones alone — a fresh temp file may be a live writer's
+// in-flight Put, and deleting it would fail that writer's rename.
+func TestGCSpareLiveTempFiles(t *testing.T) {
+	s := open(t)
+	fresh := filepath.Join(s.dir, "put-live.tmp")
+	orphan := filepath.Join(s.dir, "put-dead.tmp")
+	for _, p := range []string{fresh, orphan} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpGrace)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("GC removed %d files, want only the orphaned temp file", removed)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file did not survive GC: %v", err)
+	}
+}
+
+// TestWireCodec pins the Encode/Decode round trip the network store
+// plane ships, including its corruption-as-miss behaviour.
+func TestWireCodec(t *testing.T) {
+	k, res := testKey(1), testResult(1)
+	raw, err := Encode(k, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := Decode(raw, k)
+	if !ok || !reflect.DeepEqual(got, res) {
+		t.Fatal("Encode/Decode round trip lost the result")
+	}
+	if _, ok := Decode(raw, testKey(2)); ok {
+		t.Fatal("Decode accepted an entry for a different key")
+	}
+	if _, ok := Decode(raw[:len(raw)/2], k); ok {
+		t.Fatal("Decode accepted a truncated entry")
+	}
+	if _, err := Encode(k, nil); err == nil {
+		t.Fatal("Encode accepted a nil result")
+	}
+
+	// The wire bytes are exactly the disk bytes, so serving a file over
+	// HTTP and writing a PUT body to disk are both identity operations.
+	s := open(t)
+	if err := s.Put(k, res); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(s.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(disk) != string(raw) {
+		t.Fatal("wire encoding differs from disk encoding")
+	}
+
+	served, ok := s.GetRaw(k.Hex())
+	if !ok || string(served) != string(raw) {
+		t.Fatal("GetRaw did not serve the canonical entry bytes")
+	}
+	if _, ok := s.GetRaw("not-a-hash"); ok {
+		t.Fatal("GetRaw accepted a malformed content address")
+	}
+	if _, ok := s.GetRaw(testKey(9).Hex()); ok {
+		t.Fatal("GetRaw hit on an absent entry")
+	}
+	if !s.ContainsHash(k.Hex()) || s.ContainsHash(testKey(9).Hex()) {
+		t.Fatal("ContainsHash disagrees with the store contents")
 	}
 }
 

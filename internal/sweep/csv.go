@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/power"
+)
+
+// CSV renders sweep rows: each design point against its per-benchmark
+// private baseline, with the power model's area/energy ratios. It
+// wraps a csv.Writer whose sticky error is surfaced by Flush, so a
+// full disk or closed pipe exits non-zero instead of silently
+// truncating the output.
+type CSV struct {
+	w        *csv.Writer
+	tech     power.Tech
+	baseCfg  core.Config
+	baseReps map[string]power.Report
+}
+
+// NewCSV builds an emitter for a sweep over the given worker count.
+func NewCSV(out io.Writer, workers int) *CSV {
+	return &CSV{
+		w:        csv.NewWriter(out),
+		tech:     power.Default45nm(),
+		baseCfg:  BaseConfig(workers),
+		baseReps: map[string]power.Report{},
+	}
+}
+
+// Header writes the column header row.
+func (c *CSV) Header() error {
+	return c.w.Write([]string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
+		"time_ratio", "worker_mpki", "access_ratio", "bus_avg_wait",
+		"area_ratio", "energy_ratio"})
+}
+
+// Row renders one design point against its baseline, computing (and
+// memoising) the per-benchmark baseline power report on first use.
+func (c *CSV) Row(m Row, base, res *core.Result) error {
+	rep, err := c.tech.Evaluate(clusterFor(res.Config), activityFor(res))
+	if err != nil {
+		return err
+	}
+	baseRep, ok := c.baseReps[m.Bench]
+	if !ok {
+		if baseRep, err = c.tech.Evaluate(clusterFor(c.baseCfg), activityFor(base)); err != nil {
+			return err
+		}
+		c.baseReps[m.Bench] = baseRep
+	}
+	_, er, ar := rep.Relative(baseRep)
+	return c.w.Write([]string{
+		m.Bench,
+		strconv.Itoa(m.CPC), strconv.Itoa(m.KB),
+		strconv.Itoa(m.LB), strconv.Itoa(m.Bus),
+		f(float64(res.Cycles) / float64(base.Cycles)),
+		f(res.WorkerMPKI()),
+		f(res.WorkerAccessRatio()),
+		f(res.Bus.AvgWait()),
+		f(ar), f(er),
+	})
+}
+
+// Flush drains the writer and surfaces its sticky error.
+func (c *CSV) Flush() error {
+	c.w.Flush()
+	if err := c.w.Error(); err != nil {
+		return fmt.Errorf("write CSV: %w", err)
+	}
+	return nil
+}
+
+// clusterFor maps a simulator config to the power model's cluster.
+func clusterFor(cfg core.Config) power.Cluster {
+	cl := power.Cluster{
+		Workers:            cfg.Workers,
+		Cache:              cfg.ICache,
+		LineBuffersPerCore: cfg.LineBuffers,
+	}
+	if cfg.Organization == core.OrgWorkerShared {
+		cl.Caches = cfg.Workers / cfg.CPC
+		cl.BusesPerCache = cfg.Buses
+		cl.BusWidthBytes = cfg.BusWidthBytes
+		cl.SharedCacheOverhead = 0.25
+		cl.Cache.Banks = cfg.Buses
+	} else {
+		cl.Caches = cfg.Workers
+	}
+	return cl
+}
+
+// activityFor extracts the energy-model counters from a result.
+func activityFor(res *core.Result) power.Activity {
+	var lineNeeds, cacheFetches uint64
+	for _, c := range res.Cores[1:] {
+		lineNeeds += c.FE.LineNeeds
+		cacheFetches += c.FE.CacheFetches
+	}
+	return power.Activity{
+		Cycles:          res.Cycles,
+		Instructions:    res.WorkerInstructions(),
+		CacheAccesses:   res.WorkerICache.Accesses,
+		BusTransactions: res.Bus.Granted,
+		LineBufferHits:  lineNeeds - cacheFetches,
+	}
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,81 @@
+// Package sweep defines the design-space campaign shared by cmd/sweep
+// and the distributed coordinator cmd/campaignd: the same Space
+// expansion produces the same plan, and the same CSV emitter renders
+// the same bytes, so a campaign merged from remote workers is
+// byte-identical to a single-process sweep by construction rather than
+// by convention.
+package sweep
+
+import (
+	"sharedicache/internal/core"
+	"sharedicache/internal/experiments"
+)
+
+// Space enumerates the swept design-space axes. The worker-core count
+// and everything else that affects simulation results lives in the
+// runner's campaign options, not here.
+type Space struct {
+	// Benches are the benchmark names, one CSV row group per name.
+	Benches []string
+	// CPCs, SizesKB, LineBuffers and Buses are the shared-I-cache axes;
+	// their cross product (minus invalid combinations) is the swept set.
+	CPCs, SizesKB, LineBuffers, Buses []int
+}
+
+// Row ties one CSV output row to its plan indexes: the shared design
+// point it reports and the private baseline it is normalised against.
+type Row struct {
+	Bench             string
+	CPC, KB, LB, Bus  int
+	BaseIdx, PointIdx int
+}
+
+// Build declares the full campaign on r in CSV emission order — per
+// benchmark one private baseline followed by every valid shared point
+// — and returns the plan alongside the row metadata that maps plan
+// results back to CSV rows. Invalid combinations (cpc < 2, worker
+// count not divisible by cpc, configurations the simulator rejects)
+// are skipped exactly as cmd/sweep always has.
+func (sp Space) Build(r *experiments.Runner) (*experiments.Plan, []Row) {
+	workers := r.Options().Workers
+	plan := r.Plan()
+	baseIdx := map[string]int{}
+	var rows []Row
+	for _, b := range sp.Benches {
+		baseIdx[b] = plan.Add(b, BaseConfig(workers))
+		for _, cpc := range sp.CPCs {
+			if workers%cpc != 0 || cpc < 2 {
+				continue
+			}
+			for _, kb := range sp.SizesKB {
+				for _, lb := range sp.LineBuffers {
+					for _, bus := range sp.Buses {
+						cfg := core.DefaultConfig()
+						cfg.Workers = workers
+						cfg.Organization = core.OrgWorkerShared
+						cfg.CPC = cpc
+						cfg.ICache.SizeBytes = kb << 10
+						cfg.LineBuffers = lb
+						cfg.Buses = bus
+						if err := cfg.Validate(); err != nil {
+							continue
+						}
+						rows = append(rows, Row{
+							Bench: b, CPC: cpc, KB: kb, LB: lb, Bus: bus,
+							BaseIdx: baseIdx[b], PointIdx: plan.Add(b, cfg),
+						})
+					}
+				}
+			}
+		}
+	}
+	return plan, rows
+}
+
+// BaseConfig is the private-I-cache baseline every row is normalised
+// against.
+func BaseConfig(workers int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	return cfg
+}

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/experiments"
+)
+
+func testRunner(t *testing.T) *experiments.Runner {
+	t.Helper()
+	opts := experiments.DefaultOptions()
+	opts.Instructions = 20_000
+	opts.Benchmarks = []string{"FT", "UA"}
+	r, err := experiments.NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSpaceBuild pins the plan construction both drivers share: per
+// benchmark one baseline followed by the valid shared cross product,
+// row metadata pointing at the right plan slots, and the invalid
+// combinations (cpc 1, cpc not dividing the worker count, rejected
+// configs) silently skipped.
+func TestSpaceBuild(t *testing.T) {
+	r := testRunner(t)
+	sp := Space{
+		Benches:     []string{"FT", "UA"},
+		CPCs:        []int{1, 2, 3, 8}, // 1 and 3 are invalid for 8 workers
+		SizesKB:     []int{16, 32},
+		LineBuffers: []int{4},
+		Buses:       []int{1, 2},
+	}
+	plan, rows := sp.Build(r)
+
+	// 2 valid cpcs x 2 sizes x 1 lb x 2 buses = 8 shared points per
+	// benchmark, plus one baseline each.
+	wantRows := 2 * 8
+	if len(rows) != wantRows {
+		t.Fatalf("built %d rows, want %d", len(rows), wantRows)
+	}
+	if plan.Len() != wantRows+2 {
+		t.Fatalf("plan has %d points, want %d", plan.Len(), wantRows+2)
+	}
+
+	points := plan.Points()
+	for _, m := range rows {
+		if m.CPC == 1 || m.CPC == 3 {
+			t.Fatalf("invalid cpc %d survived into the rows", m.CPC)
+		}
+		base := points[m.BaseIdx]
+		if base.Bench != m.Bench || base.Cfg.Organization != core.OrgPrivate {
+			t.Fatalf("row %v baseline is %s/%v, want its own private baseline", m, base.Bench, base.Cfg.Organization)
+		}
+		pt := points[m.PointIdx]
+		if pt.Bench != m.Bench || pt.Cfg.CPC != m.CPC || pt.Cfg.ICache.SizeBytes != m.KB<<10 ||
+			pt.Cfg.LineBuffers != m.LB || pt.Cfg.Buses != m.Bus {
+			t.Fatalf("row %+v does not describe plan point %+v", m, pt.Cfg)
+		}
+		if m.BaseIdx >= m.PointIdx {
+			t.Fatalf("row %+v: baseline must precede its design point in plan order", m)
+		}
+	}
+
+	// Rows are in plan (= emission) order.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].PointIdx >= rows[i].PointIdx {
+			t.Fatal("rows out of plan order")
+		}
+	}
+}
+
+// TestCSVHeader pins the column schema both drivers emit.
+func TestCSVHeader(t *testing.T) {
+	var sb strings.Builder
+	c := NewCSV(&sb, 8)
+	if err := c.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "benchmark,cpc,size_kb,line_buffers,buses,time_ratio,worker_mpki,access_ratio,bus_avg_wait,area_ratio,energy_ratio\n"
+	if sb.String() != want {
+		t.Fatalf("header = %q, want %q", sb.String(), want)
+	}
+}

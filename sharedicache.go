@@ -34,13 +34,21 @@
 //     store directory split a campaign, and
 //     CampaignPlan.RunAllStream streams results in plan order as they
 //     complete.
+//   - CampaignServer / CampaignWorker / RemoteRunStore
+//     (internal/campaignd) distribute a campaign over HTTP: the server
+//     owns the plan and the store, workers lease design points under
+//     TTL leases (crashed workers' points are stolen by survivors),
+//     and merged results stream back in plan order.
 //   - Tech / Cluster wrap the McPAT/CACTI-style area & energy model
 //     (internal/power).
 //   - CMPDesign wraps the Hill-Marty speedup model (internal/amdahl).
 package sharedicache
 
 import (
+	"context"
+
 	"sharedicache/internal/amdahl"
+	"sharedicache/internal/campaignd"
 	"sharedicache/internal/core"
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/interconnect"
@@ -151,11 +159,43 @@ func ParseShard(s string) (Shard, error) { return experiments.ParseShard(s) }
 // shardable across processes.
 type RunStore = runstore.Store
 
+// ResultStore is the persistent-tier interface Runner.SetStore
+// consumes: the on-disk RunStore and the network-backed
+// RemoteRunStore both implement it.
+type ResultStore = experiments.ResultStore
+
 // RunStoreStats counts store hits, misses, writes and bad entries.
 type RunStoreStats = runstore.Stats
 
 // OpenRunStore opens (creating if needed) a run store directory.
 func OpenRunStore(dir string) (*RunStore, error) { return runstore.Open(dir) }
+
+// CampaignServer coordinates a distributed campaign: it serves the run
+// store over HTTP and leases plan points to remote workers with
+// TTL-based work stealing, streaming merged results in plan order.
+type CampaignServer = campaignd.Server
+
+// CampaignServerConfig assembles a CampaignServer.
+type CampaignServerConfig = campaignd.ServerConfig
+
+// NewCampaignServer builds a coordinator over a plan and its store.
+func NewCampaignServer(cfg CampaignServerConfig) (*CampaignServer, error) {
+	return campaignd.New(cfg)
+}
+
+// RemoteRunStore is a ResultStore backed by a CampaignServer's store
+// plane, for campaigns spanning machines without a shared filesystem.
+type RemoteRunStore = campaignd.RemoteStore
+
+// OpenRemoteRunStore builds a client for the coordinator at baseURL;
+// ctx bounds the lifetime of every request the store makes.
+func OpenRemoteRunStore(ctx context.Context, baseURL string) (*RemoteRunStore, error) {
+	return campaignd.NewRemoteStore(ctx, baseURL)
+}
+
+// CampaignWorker leases design points from a CampaignServer, simulates
+// them, and publishes the results back through the store plane.
+type CampaignWorker = campaignd.Worker
 
 // DefaultExperimentOptions returns the defaults used by
 // cmd/experiments.
