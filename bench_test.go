@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/sweep"
 )
 
 // benchBenchmarks spans the regimes the paper highlights: FT (regular
@@ -299,6 +300,49 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			mu.Unlock()
 			_, worst := fig7.Worst()
 			b.ReportMetric(worst, "fig7-worst")
+		})
+	}
+}
+
+// BenchmarkSweepBackends runs the full Fig 7 design space (every
+// benchmark of the bench subset, cpc 2/4/8, 16/32 KB, single and
+// double bus) once per backend, from a cold cache each iteration —
+// the BenchmarkCampaignParallel-style comparison behind the triage
+// pitch: the analytical backend must resolve the same space orders of
+// magnitude (>= 10x) faster than the detailed simulator.
+//
+//	go test -bench SweepBackends -benchtime 1x
+func BenchmarkSweepBackends(b *testing.B) {
+	for _, backend := range []string{"detailed", "analytical"} {
+		b.Run("backend="+backend, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := experiments.DefaultOptions()
+				opts.Instructions = 60_000
+				opts.Benchmarks = benchBenchmarks
+				opts.Backend = backend
+				r, err := experiments.NewRunner(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				space := sweep.Space{
+					Benches: benchBenchmarks,
+					CPCs:    []int{2, 4, 8}, SizesKB: []int{16, 32},
+					LineBuffers: []int{4}, Buses: []int{1, 2},
+					Backend: backend,
+				}
+				plan, rows := space.Build(r)
+				results, err := plan.RunAll(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != plan.Len() || len(rows) == 0 {
+					b.Fatalf("campaign incomplete: %d results, %d rows", len(results), len(rows))
+				}
+				if by := r.BackendRuns(); backend == "analytical" && by["detailed"] != 0 {
+					b.Fatalf("analytical sweep fell back to %d detailed simulations", by["detailed"])
+				}
+				b.ReportMetric(float64(plan.Len()), "points")
+			}
 		})
 	}
 }

@@ -43,6 +43,7 @@ func main() {
 		cold    = flag.Bool("cold", false, "start with cold caches instead of steady state")
 		traces  = flag.String("traces", "", "directory of <bench>.tNN.trace files from cmd/tracegen (replaces synthesis)")
 		store   = flag.String("store", "", "persistent run-store directory (synthesised runs only)")
+		backend = flag.String("backend", "", "simulation backend: detailed (default) or analytical (synthesised runs only)")
 		list    = flag.Bool("listbench", false, "list benchmark names and exit")
 	)
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 		opts.Seed = *seed
 		opts.Prewarm = !*cold
 		opts.Benchmarks = []string{*bench}
+		opts.Backend = *backend
 		runner, err := experiments.NewRunner(opts)
 		if err != nil {
 			fatal(err)
@@ -112,6 +114,9 @@ func main() {
 		return
 	}
 
+	if *backend != "" {
+		fatal(errors.New("-backend applies to synthesised runs only; trace replay is always cycle-level"))
+	}
 	w, err := synth.New(p, synth.Config{Workers: *workers, MasterInstructions: *n, Seed: *seed})
 	if err != nil {
 		fatal(err)

@@ -48,7 +48,7 @@ func main() {
 		storeDir = flag.String("store", "", "run-store directory backing the store plane (required)")
 		join     = flag.String("join", "", "run as a worker against the coordinator at this URL instead of serving")
 		ttl      = flag.Duration("ttl", campaignd.DefaultTTL, "lease TTL; a worker missing heartbeats this long forfeits its batch")
-		batch    = flag.Int("batch", campaignd.DefaultBatch, "max design points per lease")
+		batch    = flag.Int("lease-batch", 0, "max design points per lease; 0 derives the batch from the observed mean point latency")
 		grace    = flag.Duration("grace", 2*time.Second, "keep serving this long after completion so polling workers see the campaign finish")
 		par      = flag.Int("par", 0, "worker mode: max concurrent simulations (0 = GOMAXPROCS)")
 		id       = flag.String("id", "", "worker mode: worker name in leases (default host-pid)")
@@ -65,8 +65,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "campaignd: worker done: %d points over %d leases (%d lost), %d simulated, %d store hits\n",
-			rep.Points, rep.Leases, rep.LostLeases, rep.Simulations, rep.Store.Hits)
+		fmt.Fprintf(os.Stderr, "campaignd: worker done: %d points over %d leases (%d lost, %d forfeited), %d simulated, %d store hits\n",
+			rep.Points, rep.Leases, rep.LostLeases, rep.Forfeited, rep.Simulations, rep.Store.Hits)
 		return
 	}
 
@@ -107,13 +107,22 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
 	pre := srv.Stats().Dispatch.Done
-	fmt.Fprintf(os.Stderr, "campaignd: serving on %s: %d points (%d already in store), lease ttl %v, batch %d\n",
-		ln.Addr(), plan.Len(), pre, *ttl, *batch)
+	batchDesc := fmt.Sprintf("batch %d", *batch)
+	if *batch == 0 {
+		batchDesc = "adaptive batch"
+	}
+	fmt.Fprintf(os.Stderr, "campaignd: serving on %s: %d points (%d already in store), lease ttl %v, %s\n",
+		ln.Addr(), plan.Len(), pre, *ttl, batchDesc)
 
 	// Merge: stream results in plan order as workers publish them —
 	// EmitStream is the same emission loop a single-process sweep runs,
 	// which is what keeps the two outputs byte-identical.
 	csvw := sweep.NewCSV(os.Stdout, sf.Workers)
+	if sf.Backend != "" {
+		// Mirror cmd/sweep: an explicit -backend adds the CSV column on
+		// both drivers, preserving their byte-identity.
+		csvw.IncludeBackendColumn()
+	}
 	if err := csvw.Header(); err != nil {
 		fatal(err)
 	}

@@ -32,6 +32,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "synthesis seed")
 		par     = flag.Int("par", 0, "max concurrently characterised benchmarks (0 = GOMAXPROCS)")
 		store   = flag.String("store", "", "persistent run-store directory (used only if cycle simulations run)")
+		backend = flag.String("backend", "", "simulation backend for any simulated points: detailed (default) or analytical")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	opts.Seed = *seed
 	opts.CharInstructions = *n
 	opts.Parallelism = *par
+	opts.Backend = *backend
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}

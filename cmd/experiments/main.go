@@ -40,6 +40,7 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "workload synthesis seed (0 = default)")
 		cold    = flag.Bool("cold", false, "disable steady-state cache prewarming for timing runs")
 		par     = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		backend = flag.String("backend", "", "simulation backend: detailed (default) or analytical")
 		format  = flag.String("format", "text", "output format: text, csv, json")
 		chart   = flag.Int("chart", -1, "also render column N (0-based) as an ASCII bar chart")
 		store   = flag.String("store", "", "persistent run-store directory (second cache tier)")
@@ -75,6 +76,7 @@ func main() {
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
+	opts.Backend = *backend
 
 	runner, err := experiments.NewRunner(opts)
 	if err != nil {
@@ -166,6 +168,11 @@ func main() {
 
 	// Final cache accounting: how much work the campaign actually did
 	// versus resolved from the in-memory and persistent tiers.
+	if *backend != "" {
+		by := runner.BackendRuns()
+		fmt.Fprintf(os.Stderr, "backend %s: %d simulated (detailed %d)\n",
+			*backend, runner.Simulations(), by["detailed"])
+	}
 	if st != nil {
 		s := st.Stats()
 		fmt.Fprintf(os.Stderr, "cache: %d simulated, %d store hits, %d store misses, %d store writes\n",

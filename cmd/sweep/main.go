@@ -25,6 +25,14 @@
 // byte-identical to an unsharded run. -storeop index lists the store's
 // entries; -storeop gc sweeps corrupt or stale ones.
 //
+// -backend analytical swaps the cycle-level simulator for the
+// Hill & Marty + first-order-cache estimator: the same design space
+// resolves orders of magnitude faster at triage fidelity, the CSV
+// gains a backend column, and the run store keeps the two backends'
+// entries strictly apart. The recommended flow is triage-then-refine:
+// sweep the full space analytically, pick the frontier, re-sweep the
+// frontier with the detailed default.
+//
 // With -remote URL the persistent tier is a campaignd coordinator's
 // store plane instead of a local directory — no shared filesystem
 // needed — and -worker turns this process into a lease-based campaign
@@ -87,8 +95,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: worker done: %d points over %d leases (%d lost), %d simulated, %d store hits\n",
-			rep.Points, rep.Leases, rep.LostLeases, rep.Simulations, rep.Store.Hits)
+		fmt.Fprintf(os.Stderr, "sweep: worker done: %d points over %d leases (%d lost, %d forfeited), %d simulated, %d store hits\n",
+			rep.Points, rep.Leases, rep.LostLeases, rep.Forfeited, rep.Simulations, rep.Store.Hits)
 		return
 	}
 
@@ -169,6 +177,11 @@ func main() {
 
 	results := make([]*core.Result, plan.Len())
 	csvw := sweep.NewCSV(os.Stdout, sf.Workers)
+	if sf.Backend != "" {
+		// An explicit backend selection makes the output self-
+		// describing; the default schema stays byte-identical.
+		csvw.IncludeBackendColumn()
+	}
 	emit := func(err error) {
 		if err != nil {
 			fatal(err)
@@ -212,6 +225,14 @@ func main() {
 		st := store.Stats()
 		fmt.Fprintf(os.Stderr, "sweep: %d simulated, %d store hits, %d store writes\n",
 			runner.Simulations(), st.Hits, st.Writes)
+	}
+	if sf.Backend != "" {
+		// Per-backend accounting: the analytical triage smoke test pins
+		// "detailed 0" — a fast sweep that silently fell back to
+		// cycle-level simulation would be a lie, not a speedup.
+		by := runner.BackendRuns()
+		fmt.Fprintf(os.Stderr, "sweep: backend %s: %d simulated (detailed %d)\n",
+			sf.Backend, runner.Simulations(), by["detailed"])
 	}
 }
 

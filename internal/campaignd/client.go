@@ -96,12 +96,16 @@ func (rs *RemoteStore) Get(k runstore.Key) (*core.Result, bool) {
 }
 
 // Put publishes res under k, retrying transient failures; a response
-// the coordinator rejects outright (4xx) is final.
+// the coordinator rejects outright (4xx) is final. The body ships
+// gzip-compressed (entries are ~4.6 KB of repetitive JSON) with
+// Content-Encoding: gzip; the coordinator sniffs the magic, so old
+// plain-JSON publishers keep working.
 func (rs *RemoteStore) Put(k runstore.Key, res *core.Result) error {
-	raw, err := runstore.Encode(k, res)
+	plain, err := runstore.Encode(k, res)
 	if err != nil {
 		return err
 	}
+	raw := runstore.Compress(plain)
 	url := rs.base + "/v1/run/" + k.Hex()
 	var last error
 	for attempt := 0; attempt < putAttempts; attempt++ {
@@ -117,6 +121,7 @@ func (rs *RemoteStore) Put(k runstore.Key, res *core.Result) error {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Encoding", "gzip")
 		resp, err := rs.hc.Do(req)
 		if err != nil {
 			last = err
@@ -191,6 +196,13 @@ func (c *Client) Renew(ctx context.Context, lease string) error {
 // through the store plane).
 func (c *Client) Complete(ctx context.Context, lease string, indexes []int) error {
 	return c.call(ctx, http.MethodPost, "/v1/complete", completeRequest{Lease: lease, Indexes: indexes}, nil)
+}
+
+// Release returns part of a live lease to the queue unrun, keeping
+// the lease for the rest; a worker that cannot execute some leased
+// points hands them back before simulating the others.
+func (c *Client) Release(ctx context.Context, lease string, indexes []int) error {
+	return c.call(ctx, http.MethodPost, "/v1/release", releaseRequest{Lease: lease, Indexes: indexes}, nil)
 }
 
 // Statsz fetches the coordinator's counters.

@@ -2,6 +2,7 @@ package campaignd
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ type lease struct {
 	id       string
 	worker   string
 	deadline time.Time
+	granted  time.Time
 	indexes  []int
 }
 
@@ -33,6 +35,13 @@ type lease struct {
 // mutating call first sweeps expired leases, so as long as any worker
 // is polling for work, crashed workers' points flow back into the
 // queue without a background janitor.
+//
+// batch == 0 selects adaptive batch sizing: the queue tracks an EWMA
+// of the observed per-point completion latency (lease grant to lease
+// completion, divided by the batch size) and hands out enough points
+// to keep a worker busy for about a third of the lease TTL — long
+// enough to amortise the lease round trip, short enough that a crash
+// forfeits little work and heartbeats comfortably outpace the TTL.
 type dispatch struct {
 	points []experiments.Point
 	ttl    time.Duration
@@ -47,7 +56,20 @@ type dispatch struct {
 	seq     int
 	nDone   int
 	expired int64 // leases expired so far (observability)
+	// pointSec is the EWMA of observed seconds per completed point;
+	// zero until the first lease completes.
+	pointSec float64
 }
+
+// Adaptive batch bounds and tuning.
+const (
+	maxAdaptiveBatch = 64
+	// leaseFill is the fraction of the TTL an adaptive batch should
+	// keep a worker busy for.
+	leaseFill = 1.0 / 3
+	// ewmaAlpha weights the newest per-point latency observation.
+	ewmaAlpha = 0.3
+)
 
 // newDispatch builds the queue over the plan points; hashes[i] is
 // point i's content address, which lets store-plane writes complete
@@ -111,17 +133,55 @@ func (d *dispatch) completeHash(hash string) {
 	}
 }
 
-// Lease hands out up to max pending points (at most the configured
-// batch; max <= 0 means the full batch) in plan order, so early rows
-// stream out of the merge first. It returns no points when everything
-// is leased or done; allDone then distinguishes "poll again" from
-// "campaign complete".
-func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, deadline time.Time, allDone bool) {
-	if max <= 0 || max > d.batch {
-		max = d.batch
+// effectiveBatchLocked resolves the batch size for the next lease: the
+// configured size, or — when configured adaptive (0) — a size derived
+// from the observed mean point latency. Caller holds d.mu.
+func (d *dispatch) effectiveBatchLocked() int {
+	if d.batch > 0 {
+		return d.batch
 	}
+	if d.pointSec <= 0 {
+		return DefaultBatch
+	}
+	n := int(d.ttl.Seconds() * leaseFill / d.pointSec)
+	if n < 1 {
+		return 1
+	}
+	if n > maxAdaptiveBatch {
+		return maxAdaptiveBatch
+	}
+	return n
+}
+
+// observeLocked folds one completed lease into the per-point latency
+// EWMA. Caller holds d.mu.
+func (d *dispatch) observeLocked(l *lease, completed int) {
+	if l == nil || completed <= 0 || l.granted.IsZero() {
+		return
+	}
+	obs := d.now().Sub(l.granted).Seconds() / float64(completed)
+	if obs <= 0 {
+		return
+	}
+	if d.pointSec == 0 {
+		d.pointSec = obs
+	} else {
+		d.pointSec = (1-ewmaAlpha)*d.pointSec + ewmaAlpha*obs
+	}
+}
+
+// Lease hands out up to max pending points (at most the configured or
+// adaptive batch; max <= 0 means the full batch) in plan order, so
+// early rows stream out of the merge first. It returns no points when
+// everything is leased or done; allDone then distinguishes "poll
+// again" from "campaign complete".
+func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, deadline time.Time, allDone bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	batch := d.effectiveBatchLocked()
+	if max <= 0 || max > batch {
+		max = batch
+	}
 	d.expireLocked()
 	for i := range d.state {
 		if d.state[i] == pointPending {
@@ -136,11 +196,12 @@ func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, dead
 	}
 	d.seq++
 	id = fmt.Sprintf("lease-%d", d.seq)
-	deadline = d.now().Add(d.ttl)
+	now := d.now()
+	deadline = now.Add(d.ttl)
 	for _, i := range indexes {
 		d.state[i] = pointLeased
 	}
-	d.leases[id] = &lease{id: id, worker: worker, deadline: deadline, indexes: indexes}
+	d.leases[id] = &lease{id: id, worker: worker, deadline: deadline, granted: now, indexes: indexes}
 	return id, indexes, deadline, false
 }
 
@@ -165,6 +226,12 @@ func (d *dispatch) Renew(id string) bool {
 // write — the late worker's results are real, and simulation is
 // deterministic, so whichever worker publishes first wins bytes that
 // are identical anyway. Out-of-range indexes report an error.
+//
+// A PARTIAL completion — indexes covering only some of the lease's
+// points (or none) — returns the rest to the queue as of this call: a
+// worker that could execute only part of its batch (e.g. the
+// remainder names a backend it lacks) hands the leftovers back for a
+// capable worker without waiting out the TTL.
 func (d *dispatch) Complete(id string, indexes []int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -176,19 +243,77 @@ func (d *dispatch) Complete(id string, indexes []int) error {
 	for _, i := range indexes {
 		d.markDoneLocked(i)
 	}
+	l := d.leases[id]
+	d.observeLocked(l, len(indexes))
+	if l != nil {
+		for _, i := range l.indexes {
+			if d.state[i] == pointLeased {
+				d.state[i] = pointPending
+			}
+		}
+	}
 	delete(d.leases, id)
 	d.expireLocked()
 	return nil
 }
 
+// Release returns the given points of a live lease to the queue
+// without marking them done, keeping the lease (and its heartbeat)
+// alive for the rest — a worker that can execute only part of its
+// batch hands the remainder back BEFORE simulating, so capable
+// workers can claim it while the batch runs. Unknown or expired
+// leases are a no-op: expiry has already released everything.
+func (d *dispatch) Release(id string, indexes []int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	l, ok := d.leases[id]
+	if !ok {
+		return
+	}
+	drop := make(map[int]bool, len(indexes))
+	for _, i := range indexes {
+		drop[i] = true
+	}
+	kept := l.indexes[:0]
+	for _, i := range l.indexes {
+		if drop[i] && d.state[i] == pointLeased {
+			d.state[i] = pointPending
+			continue
+		}
+		kept = append(kept, i)
+	}
+	l.indexes = kept
+}
+
 // Done exposes point i's completion latch.
 func (d *dispatch) Done(i int) <-chan struct{} { return d.done[i] }
+
+// Batch reports the batch size the next lease would be granted at.
+func (d *dispatch) Batch() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.effectiveBatchLocked()
+}
+
+// LeaseInfo describes one live lease for observability surfaces.
+type LeaseInfo struct {
+	Lease, Worker   string
+	Points          int
+	ExpiresInMillis int64
+}
 
 // DispatchStats is a snapshot of the queue for /v1/statsz.
 type DispatchStats struct {
 	Points, Done, Leased, Pending int
 	Leases                        int
 	ExpiredLeases                 int64
+	// EffectiveBatch is the size the next lease would be granted at;
+	// MeanPointMillis is the observed per-point latency EWMA feeding
+	// adaptive batch sizing (0 until a lease completes).
+	EffectiveBatch  int
+	MeanPointMillis int64
+	ActiveLeases    []LeaseInfo
 }
 
 // Stats snapshots the queue (and sweeps expired leases while at it).
@@ -196,7 +321,13 @@ func (d *dispatch) Stats() DispatchStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.expireLocked()
-	st := DispatchStats{Points: len(d.points), Leases: len(d.leases), ExpiredLeases: d.expired}
+	st := DispatchStats{
+		Points:          len(d.points),
+		Leases:          len(d.leases),
+		ExpiredLeases:   d.expired,
+		EffectiveBatch:  d.effectiveBatchLocked(),
+		MeanPointMillis: int64(d.pointSec * 1000),
+	}
 	for _, s := range d.state {
 		switch s {
 		case pointDone:
@@ -207,5 +338,15 @@ func (d *dispatch) Stats() DispatchStats {
 			st.Pending++
 		}
 	}
+	now := d.now()
+	for _, l := range d.leases {
+		st.ActiveLeases = append(st.ActiveLeases, LeaseInfo{
+			Lease: l.id, Worker: l.worker, Points: len(l.indexes),
+			ExpiresInMillis: l.deadline.Sub(now).Milliseconds(),
+		})
+	}
+	sort.Slice(st.ActiveLeases, func(i, j int) bool {
+		return st.ActiveLeases[i].Lease < st.ActiveLeases[j].Lease
+	})
 	return st
 }

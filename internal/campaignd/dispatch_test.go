@@ -132,6 +132,123 @@ func TestLeaseExpiryStealing(t *testing.T) {
 	}
 }
 
+// TestAdaptiveBatch pins the latency-derived batch sizing: with batch
+// 0 the first lease hands out DefaultBatch points, and once completed
+// leases establish a per-point latency, later leases are sized to fill
+// about a third of the TTL — clamped to [1, maxAdaptiveBatch].
+func TestAdaptiveBatch(t *testing.T) {
+	clk := newFakeClock()
+	ttl := time.Minute // adaptive target: ~20s of work per lease
+	d := testDispatch(200, ttl, 0, clk)
+
+	// No observations yet: the conservative default.
+	id, pts, _, _ := d.Lease("w", 0)
+	if len(pts) != DefaultBatch {
+		t.Fatalf("first adaptive lease = %d points, want DefaultBatch %d", len(pts), DefaultBatch)
+	}
+	// The batch takes 2s/point; the EWMA should settle near that and
+	// size the next lease at ~20s / 2s = 10 points.
+	clk.advance(time.Duration(len(pts)) * 2 * time.Second)
+	if err := d.Complete(id, pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Batch(); got != 10 {
+		t.Fatalf("adaptive batch after 2s/point = %d, want 10", got)
+	}
+	if _, pts, _, _ = d.Lease("w", 0); len(pts) != 10 {
+		t.Fatalf("second adaptive lease = %d points, want 10", len(pts))
+	}
+
+	// Stats surface the knobs for /v1/statsz (snapshotted while the
+	// lease is live — the fake clock is shared with the cases below).
+	st := d.Stats()
+	if st.EffectiveBatch != 10 || st.MeanPointMillis == 0 {
+		t.Fatalf("stats = batch %d / mean %dms, want 10 / nonzero", st.EffectiveBatch, st.MeanPointMillis)
+	}
+	if len(st.ActiveLeases) != 1 || st.ActiveLeases[0].Worker != "w" || st.ActiveLeases[0].Points != 10 {
+		t.Fatalf("ActiveLeases = %+v, want the live 10-point lease", st.ActiveLeases)
+	}
+
+	// Very slow points shrink the batch to the floor of 1...
+	slow := testDispatch(50, ttl, 0, clk)
+	id, pts, _, _ = slow.Lease("w", 0)
+	clk.advance(time.Duration(len(pts)) * 2 * ttl)
+	if err := slow.Complete(id, pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := slow.Batch(); got != 1 {
+		t.Fatalf("adaptive batch for slow points = %d, want 1", got)
+	}
+
+	// ...and near-instant points saturate at the cap.
+	fast := testDispatch(5000, ttl, 0, clk)
+	id, pts, _, _ = fast.Lease("w", 0)
+	clk.advance(time.Millisecond)
+	if err := fast.Complete(id, pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := fast.Batch(); got != maxAdaptiveBatch {
+		t.Fatalf("adaptive batch for fast points = %d, want cap %d", got, maxAdaptiveBatch)
+	}
+
+	// A fixed batch ignores observations entirely.
+	fixed := testDispatch(50, ttl, 3, clk)
+	id, pts, _, _ = fixed.Lease("w", 0)
+	clk.advance(time.Hour)
+	fixed.Complete(id, pts)
+	if got := fixed.Batch(); got != 3 {
+		t.Fatalf("fixed batch drifted to %d", got)
+	}
+}
+
+// TestPartialCompleteReleasesRest pins the partial-completion
+// contract: completing a lease with a subset of its indexes marks
+// those done and returns the remainder to the queue immediately, so a
+// worker that could execute only part of its batch does not hold the
+// rest hostage for a full TTL.
+func TestPartialCompleteReleasesRest(t *testing.T) {
+	clk := newFakeClock()
+	d := testDispatch(4, time.Minute, 3, clk)
+	id := mustLease(t, d, "w1", []int{0, 1, 2})
+	if err := d.Complete(id, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Done != 2 || st.Pending != 2 || st.Leased != 0 || st.Leases != 0 {
+		t.Fatalf("after partial complete: %+v, want 2 done / 2 pending / no leases", st)
+	}
+	// The released point is immediately leasable, in plan order.
+	mustLease(t, d, "w2", []int{1, 3})
+}
+
+// TestReleaseKeepsLeaseAlive pins the upfront-release contract: a
+// worker hands back part of a live lease before running the rest, the
+// released points become leasable at once, and the lease (with its
+// renewals and eventual completion) continues to govern the remainder.
+func TestReleaseKeepsLeaseAlive(t *testing.T) {
+	clk := newFakeClock()
+	d := testDispatch(4, time.Minute, 3, clk)
+	id := mustLease(t, d, "w1", []int{0, 1, 2})
+
+	d.Release(id, []int{1})
+	st := d.Stats()
+	if st.Pending != 2 || st.Leased != 2 || st.Leases != 1 {
+		t.Fatalf("after release: %+v, want 2 pending / 2 leased / 1 lease", st)
+	}
+	mustLease(t, d, "w2", []int{1, 3})
+	if !d.Renew(id) {
+		t.Fatal("release killed the lease")
+	}
+	if err := d.Complete(id, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Done != 2 {
+		t.Fatalf("Done = %d after completing the kept points, want 2", st.Done)
+	}
+	// Releasing on an unknown/expired lease is a harmless no-op.
+	d.Release("nope", []int{0})
+}
+
 // TestCompleteValidation pins index validation and the store-plane
 // completion path.
 func TestCompleteValidation(t *testing.T) {

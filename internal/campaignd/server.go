@@ -6,16 +6,20 @@
 //
 // # Store plane
 //
-//	GET /v1/run/{hash}   canonical entry bytes, 404 on miss
-//	PUT /v1/run/{hash}   publish an entry (validated, atomic), 204
+//	GET /v1/run/{hash}   entry bytes, 404 on miss (Content-Encoding:
+//	                     gzip for clients that accept it)
+//	PUT /v1/run/{hash}   publish an entry (validated, atomic), 204;
+//	                     gzip or plain-JSON bodies both verify
 //	GET /v1/index        JSON index of trustworthy entries
-//	GET /v1/statsz       store + dispatch counters
+//	GET /v1/statsz       store + dispatch counters (JSON, or a
+//	                     human-readable page for Accept: text/html)
 //
-// Entries travel in the runstore wire encoding and are validated on
-// both ends, so the store's corruption-as-miss semantics survive the
-// network hop: the server never serves debris, and a client treats a
-// garbled response as a miss, never an error. RemoteStore implements
-// the experiments.ResultStore interface over this plane, so a Runner
+// Entries travel in the runstore wire encoding — gzip-compressed by
+// default, sniffed on receipt — and are validated on both ends, so
+// the store's corruption-as-miss semantics survive the network hop:
+// the server never serves debris, and a client treats a garbled
+// response as a miss, never an error. RemoteStore implements the
+// experiments.ResultStore interface over this plane, so a Runner
 // pointed at a coordinator gets the same memory -> store -> simulate
 // tiering as one pointed at a local directory.
 //
@@ -24,6 +28,7 @@
 //	GET  /v1/campaign    campaign options + plan size + lease TTL
 //	POST /v1/lease       claim a batch of plan points under a TTL lease
 //	POST /v1/renew       heartbeat: extend a lease's deadline
+//	POST /v1/release     return part of a live lease to the queue unrun
 //	POST /v1/complete    report a batch finished, release the lease
 //
 // Workers lease batches in plan order, heartbeat to keep them, publish
@@ -43,6 +48,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"sharedicache/internal/experiments"
@@ -73,8 +79,11 @@ type ServerConfig struct {
 	// TTL is the lease lifetime (default DefaultTTL); a worker must
 	// heartbeat within it or its lease expires back onto the queue.
 	TTL time.Duration
-	// Batch is the most points one lease hands out (default
-	// DefaultBatch).
+	// Batch is the most points one lease hands out. Zero (the
+	// default) selects adaptive sizing: the dispatcher derives the
+	// batch from the observed mean point latency so a lease keeps a
+	// worker busy for about a third of the TTL (DefaultBatch until the
+	// first lease completes). A positive value pins the size.
 	Batch int
 
 	// now overrides the clock in tests.
@@ -126,6 +135,12 @@ type LeaseGrant struct {
 
 type renewRequest struct{ Lease string }
 
+// releaseRequest returns part of a live lease to the queue unrun.
+type releaseRequest struct {
+	Lease   string
+	Indexes []int
+}
+
 type completeRequest struct {
 	Lease   string
 	Indexes []int
@@ -145,8 +160,8 @@ func New(cfg ServerConfig) (*Server, error) {
 	if cfg.TTL <= 0 {
 		cfg.TTL = DefaultTTL
 	}
-	if cfg.Batch <= 0 {
-		cfg.Batch = DefaultBatch
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("campaignd: negative lease batch %d", cfg.Batch)
 	}
 	if cfg.now == nil {
 		cfg.now = time.Now
@@ -155,6 +170,22 @@ func New(cfg ServerConfig) (*Server, error) {
 		runner: cfg.Runner,
 		store:  cfg.Store,
 		points: append([]experiments.Point(nil), cfg.Points...),
+	}
+	// Every plan point's backend must be registered in THIS process:
+	// the coordinator's store keys embed the backend's versioned
+	// fingerprint, so a backend it cannot resolve would hash
+	// differently here than on the capable worker that executes it —
+	// the worker's results would land under keys the dispatch plane
+	// never matches, silently wedging the merge. Refusing at startup
+	// turns that into an actionable error.
+	opts := cfg.Runner.Options()
+	for i, pt := range s.points {
+		name := opts.PointBackend(pt)
+		if !experiments.BackendRegistered(name) {
+			return nil, fmt.Errorf(
+				"campaignd: plan point %d (%s) names backend %q, which this coordinator does not register — build the coordinator with the backend linked in",
+				i, pt.Bench, name)
+		}
 	}
 	hashes := make([]string, len(s.points))
 	for i, pt := range s.points {
@@ -176,6 +207,7 @@ func New(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /v1/lease", s.handleLease)
 	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
+	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/complete", s.handleComplete)
 	return s, nil
 }
@@ -202,6 +234,20 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// Entries sit on disk gzip-compressed; ship them as-is to clients
+	// that accept the encoding and unwrap server-side for the rest.
+	if runstore.Compressed(raw) {
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			plain, ok := runstore.Decompress(raw)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			w.Write(plain)
+			return
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+	}
 	w.Write(raw)
 }
 
@@ -216,6 +262,8 @@ func (s *Server) handlePutRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// DecodeEntry sniffs the gzip magic, so Content-Encoding: gzip
+	// bodies (the RemoteStore default) and plain JSON both verify.
 	k, res, ok := runstore.DecodeEntry(raw)
 	if !ok || k.Hex() != hash {
 		http.Error(w, "entry does not verify against its content address", http.StatusBadRequest)
@@ -241,7 +289,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Stats())
+	st := s.Stats()
+	if wantsHTML(r) {
+		s.serveStatszHTML(w, st)
+		return
+	}
+	writeJSON(w, st)
 }
 
 // --- dispatch plane ---
@@ -251,7 +304,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		Options:   s.runner.Options(),
 		Points:    len(s.points),
 		TTLMillis: s.d.ttl.Milliseconds(),
-		Batch:     s.d.batch,
+		Batch:     s.d.Batch(),
 	})
 }
 
@@ -277,6 +330,15 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "lease expired or unknown", http.StatusGone)
 		return
 	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.d.Release(req.Lease, req.Indexes)
 	w.WriteHeader(http.StatusNoContent)
 }
 

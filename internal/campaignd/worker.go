@@ -29,6 +29,11 @@ type Worker struct {
 	Max int
 	// Log receives progress lines; nil means silent.
 	Log io.Writer
+
+	// backendRegistered overrides the backend-availability check in
+	// tests (which cannot unregister a backend from the process-wide
+	// registry); nil means experiments.BackendRegistered.
+	backendRegistered func(string) bool
 }
 
 // WorkerReport summarises one worker's share of a campaign.
@@ -41,6 +46,15 @@ type WorkerReport struct {
 	// Leases counts granted leases; LostLeases counts batches abandoned
 	// because the lease expired under us (the work was stolen).
 	Leases, LostLeases int
+	// Forfeited counts leases this worker gave back untouched because
+	// every point named a simulation backend this binary does not
+	// register — executing them with a different backend would poison
+	// the campaign, so the points are released back to the queue at
+	// once (lease expiry is the fallback if the release fails) for a
+	// capable worker to claim. A lease that merely contains some such
+	// points is not counted here: the unrunnable points are released
+	// up front and the executable remainder runs normally.
+	Forfeited int
 	// Store is the remote tier's traffic as seen from this worker.
 	Store runstore.Stats
 }
@@ -101,6 +115,50 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 				return rep, ctx.Err()
 			}
 		}
+		runnable, missing := w.splitByBackend(opts, lr)
+		if len(runnable) == 0 {
+			// Every point names a backend this binary does not have.
+			// Forfeit the lease — never guess with a different backend.
+			// An empty Complete returns the points to the queue at once
+			// (lease expiry is the fallback if the call fails), and a
+			// doubled poll delay handicaps us in the race for them so
+			// capable workers claim them first.
+			rep.Forfeited++
+			w.logf("lease %s: forfeiting — backend %q not registered in this worker", lr.Lease, missing)
+			if err := client.Complete(ctx, lr.Lease, nil); err != nil && ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			select {
+			case <-time.After(2 * poll):
+				continue
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			}
+		}
+		if len(runnable) < len(lr.Points) {
+			// Mixed batch: hand the unrunnable points back BEFORE
+			// simulating the rest, so a capable worker can claim them
+			// while this batch runs (an adaptive batch can take many
+			// TTLs; holding them hostage would stall the campaign).
+			// Should the release fail, the final partial Complete
+			// still returns them to the queue at batch end.
+			var drop []int
+			have := make(map[int]bool, len(runnable))
+			for _, lp := range runnable {
+				have[lp.Index] = true
+			}
+			for _, lp := range lr.Points {
+				if !have[lp.Index] {
+					drop = append(drop, lp.Index)
+				}
+			}
+			w.logf("lease %s: releasing %d points needing backend %q",
+				lr.Lease, len(drop), missing)
+			if err := client.Release(ctx, lr.Lease, drop); err != nil && ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			lr.Points = runnable
+		}
 		rep.Leases++
 		w.logf("lease %s: %d points", lr.Lease, len(lr.Points))
 
@@ -114,6 +172,28 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 			w.logf("lease %s expired under us; re-leasing", lr.Lease)
 		}
 	}
+}
+
+// splitByBackend partitions the leased points into those this process
+// can execute faithfully and reports the first backend name it lacks
+// ("" when every point is executable). Resolution follows
+// Options.PointBackend — the same rule the runner dispatches with.
+func (w *Worker) splitByBackend(opts experiments.Options, lr LeaseGrant) (runnable []LeasedPoint, missing string) {
+	registered := w.backendRegistered
+	if registered == nil {
+		registered = experiments.BackendRegistered
+	}
+	for _, lp := range lr.Points {
+		name := opts.PointBackend(lp.Point)
+		if !registered(name) {
+			if missing == "" {
+				missing = name
+			}
+			continue
+		}
+		runnable = append(runnable, lp)
+	}
+	return runnable, missing
 }
 
 // runBatch simulates one leased batch under a heartbeat. It reports

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"sharedicache/internal/amdahl"
+	"sharedicache/internal/cachesim"
+	"sharedicache/internal/core"
+	"sharedicache/internal/frontend"
+	"sharedicache/internal/omprt"
+	"sharedicache/internal/synth"
+
+	cpibackend "sharedicache/internal/backend"
+)
+
+// analyticalBackend estimates a design point in microseconds instead
+// of simulating it cycle by cycle. It composes two models the
+// repository already trusts:
+//
+//   - the Hill & Marty performance model (internal/amdahl) supplies
+//     the serial/parallel composition: serial code runs on the master
+//     expressed as a big core of r BCEs with perf(r) = sqrt(r), and
+//     parallel sections are bounded by the lean workers — Amdahl's law
+//     with the paper's Figure 1 core-performance function;
+//   - a first-order cache model derived from internal/cachesim
+//     miss-rate characterisation: the profile's hot, private and cold
+//     code footprints are walked through the real set-associative LRU
+//     model (a few thousand accesses, not a full trace) to measure the
+//     I-cache miss ratio of the actual geometry and sharing degree,
+//     and a line-buffer filter plus an M/D/1-style bus-contention term
+//     turn that into a fetch-stall CPI adder.
+//
+// The estimate preserves the design-space gradients the triage use
+// case needs (capacity, sharing degree, line buffers, bus count all
+// move the result in the right direction) but is NOT bit-comparable
+// to the detailed simulator — which is exactly why the two backends
+// may never share store entries (runstore.Fingerprint.Backend).
+type analyticalBackend struct {
+	opts Options
+}
+
+func (b *analyticalBackend) Name() string { return "analytical" }
+
+// Fingerprint versions the model: bump when any coefficient below
+// changes, so stale analytical entries die instead of lying.
+func (b *analyticalBackend) Fingerprint() string { return "analytical/v1" }
+
+// Model coefficients. These are first-order calibration constants, not
+// measured hardware parameters; they live here, named, so a future
+// calibration pass against the detailed backend has one place to turn.
+const (
+	anaTrips         = 4    // characterisation walks per footprint
+	anaChunkLines    = 4    // lockstep interleave granularity across sharers
+	anaColdCapFactor = 8.0  // bound on cold-stream accesses per hot access
+	anaHide          = 0.6  // fraction of fetch latency the decoupled FE exposes
+	anaDRAMLatency   = 60.0 // cycles for the DRAM share of a miss
+	anaDRAMFracWarm  = 0.1  // misses reaching DRAM from a warm L2
+	anaDRAMFracCold  = 0.5  // ... and from a cold one
+	anaSkew          = 1.03 // barrier-imbalance stretch on parallel sections
+	anaBarrierBase   = 64.0 // fixed cycles per barrier episode
+	anaBarrierPerCPU = 8.0  // plus per-core arrival spread
+	anaLBBase        = 0.05 // line-buffer leak floor (loop entries/exits)
+)
+
+// Execute estimates one design point analytically.
+func (b *analyticalBackend) Execute(ctx context.Context, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p, ok := synth.ProfileByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", bench)
+	}
+	W := float64(cfg.Workers)
+	N := float64(b.opts.Instructions)
+	serialInstr := math.Round(N * p.SerialFrac)
+	parInstr := N - serialInstr
+
+	// --- cache model: characterise worker and master fetch paths ----
+	sharers := 1
+	switch cfg.Organization {
+	case core.OrgWorkerShared:
+		sharers = cfg.CPC
+	case core.OrgAllShared:
+		sharers = cfg.Workers + 1
+	}
+	workerCache := b.missRatio(cfg.ICache, p, sharers, prewarm, true)
+	masterCache := workerCache
+	if cfg.Organization != core.OrgAllShared {
+		// The master keeps its private I-cache in every other
+		// organisation; its fetch stream is the serial profile.
+		masterCache = b.missRatio(cfg.ICache, p, 1, prewarm, false)
+	}
+
+	lineBytes := float64(cfg.ICache.LineBytes)
+	// Line needs per instruction: 4-byte instructions fetched line by
+	// line, with taken branches cutting lines short.
+	parLNPI := 4 / lineBytes * (1 + 2*p.ParallelBranchNoise)
+	serLNPI := 4 / lineBytes * (1 + 2*p.SerialBranchNoise)
+	parAR := lineBufferFilter(p.ParallelHotBody, cfg.LineBuffers, cfg.ICache.LineBytes, p.ParallelBranchNoise)
+	serAR := lineBufferFilter(p.SerialHotBody, cfg.LineBuffers, cfg.ICache.LineBytes, p.SerialBranchNoise)
+
+	dramFrac := anaDRAMFracWarm
+	if !prewarm {
+		dramFrac = anaDRAMFracCold
+	}
+	missPenalty := float64(cfg.Mem.L2Latency) + 2*float64(cfg.Mem.BusLatency) + dramFrac*anaDRAMLatency
+
+	// --- fetch-stall fixed point (worker parallel path) -------------
+	// Bus utilisation depends on the fetch rate, which depends on the
+	// CPI the stalls produce; a short fixed-point iteration settles it.
+	cpiSmall := 1000 / float64(p.WorkerIPC)
+	fetchesPerInstr := parLNPI * parAR
+	shared := cfg.Organization != core.OrgPrivate
+	occ := float64((cfg.ICache.LineBytes + cfg.BusWidthBytes - 1) / cfg.BusWidthBytes)
+	var busWait, rho float64
+	cpiWorker := cpiSmall
+	for i := 0; i < 3; i++ {
+		stall := workerCache.miss * missPenalty
+		if shared {
+			rate := fetchesPerInstr / cpiWorker // fetches per cycle per sharer
+			rho = math.Min(0.95, rate*float64(sharers)*occ/float64(cfg.Buses))
+			busWait = occ * rho / (2 * (1 - rho))
+			stall += float64(cfg.BusLatency) + busWait
+		}
+		cpiWorker = cpiSmall + fetchesPerInstr*stall*anaHide
+	}
+	masterStallPerInstr := serLNPI * serAR * masterCache.miss * missPenalty * anaHide
+
+	// --- Amdahl composition (Hill & Marty) --------------------------
+	// Express the master as a big core of r BCEs: perf(r) = sqrt(r) is
+	// the paper's Figure 1 function, so r = (IPC_master / IPC_worker)^2
+	// makes amdahl.Perf(r) exactly the measured serial speed ratio.
+	// Serial sections then run at Perf(r) in worker-cycle units and
+	// parallel sections are bounded by the lean workers — the
+	// asymmetric-CMP composition of amdahl.Design.Speedup.
+	r := math.Pow(float64(p.MasterSerialIPC)/float64(p.WorkerIPC), 2)
+	serialCycles := serialInstr*cpiSmall/amdahl.Perf(r) + serialInstr*masterStallPerInstr
+	parCycles := parInstr * cpiWorker * anaSkew
+	episodes := float64(p.Phases * (1 + p.BarriersPerRegion))
+	syncCycles := episodes*(anaBarrierBase+anaBarrierPerCPU*(W+1)) +
+		float64(p.CriticalSections*p.Phases)*W*20
+	cycles := serialCycles + parCycles + syncCycles
+	if cycles < 1 {
+		cycles = 1
+	}
+
+	// --- assemble the Result ----------------------------------------
+	res := &core.Result{Config: cfg, Cycles: u64(cycles)}
+
+	workerLineNeeds := parInstr * parLNPI
+	workerFetches := workerLineNeeds * parAR
+	masterLineNeeds := serialInstr*serLNPI + parInstr*parLNPI
+	masterFetches := serialInstr*serLNPI*serAR + parInstr*parLNPI*parAR
+
+	masterFE := frontend.Stats{
+		LineNeeds:    u64(masterLineNeeds),
+		CacheFetches: u64(masterFetches),
+		Mispredicts:  u64(serialInstr*p.SerialBranchNoise + parInstr*p.ParallelBranchNoise),
+	}
+	res.Cores = append(res.Cores, core.CoreResult{
+		Instructions:         u64(N),
+		SerialInstructions:   u64(serialInstr),
+		ParallelInstructions: u64(parInstr),
+		SerialCycles:         u64(serialCycles),
+		ParallelCycles:       u64(parCycles + syncCycles),
+		FE:                   masterFE,
+		Stack: cpibackend.CPIStack{
+			Busy: u64(serialCycles + parCycles),
+			Sync: u64(syncCycles),
+		},
+	})
+	workerBusQueue := workerFetches * busWait * anaHide
+	workerBusLat := workerFetches * float64(cfg.BusLatency) * anaHide
+	if !shared {
+		workerBusQueue, workerBusLat = 0, 0
+	}
+	workerMissCycles := workerLineNeeds * parAR * workerCache.miss * missPenalty * anaHide
+	workerFE := frontend.Stats{
+		LineNeeds:    u64(workerLineNeeds),
+		CacheFetches: u64(workerFetches),
+		Mispredicts:  u64(parInstr * p.ParallelBranchNoise),
+	}
+	workerStack := cpibackend.CPIStack{
+		Busy:       u64(parInstr * cpiSmall),
+		BusQueue:   u64(workerBusQueue),
+		BusLatency: u64(workerBusLat),
+		CacheMiss:  u64(workerMissCycles),
+		Sync:       u64(serialCycles + syncCycles),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		res.Cores = append(res.Cores, core.CoreResult{
+			Instructions:         u64(parInstr),
+			ParallelInstructions: u64(parInstr),
+			SerialCycles:         u64(serialCycles),
+			ParallelCycles:       u64(parCycles + syncCycles),
+			FE:                   workerFE,
+			Stack:                workerStack,
+		})
+	}
+
+	// Aggregate cache statistics, scaled from the characterised ratios
+	// exactly like core.Simulator.collect aggregates real counters.
+	workerAccesses := W * workerFetches
+	workerStats := cachesim.Stats{
+		Accesses:   u64(workerAccesses),
+		Misses:     u64(workerAccesses * workerCache.miss),
+		Compulsory: u64(workerAccesses * workerCache.miss * workerCache.compulsory),
+	}
+	masterStats := cachesim.Stats{
+		Accesses:   u64(masterFetches),
+		Misses:     u64(masterFetches * masterCache.miss),
+		Compulsory: u64(masterFetches * masterCache.miss * masterCache.compulsory),
+	}
+	switch cfg.Organization {
+	case core.OrgAllShared:
+		all := workerStats
+		all.Add(masterStats)
+		res.WorkerICache, res.MasterICache = all, all
+	default:
+		res.WorkerICache, res.MasterICache = workerStats, masterStats
+	}
+
+	if shared {
+		granted := workerAccesses
+		if cfg.Organization == core.OrgAllShared {
+			granted += masterFetches
+		}
+		res.Bus.Submitted = u64(granted)
+		res.Bus.Granted = u64(granted)
+		res.Bus.WaitCycles = u64(granted * busWait)
+		res.Bus.BusyCycles = u64(granted * occ)
+		// Mutual prefetching: lockstep sharers merge a share of their
+		// misses onto in-flight fills.
+		res.MergedFills = u64(float64(workerStats.Misses) * 0.5 * float64(sharers-1) / float64(sharers))
+	}
+
+	totalMisses := float64(workerStats.Misses + masterStats.Misses)
+	res.DRAM.Accesses = u64(totalMisses * dramFrac)
+	res.DRAM.RowHits = u64(totalMisses * dramFrac * 0.7)
+	res.Runtime = omprt.Stats{
+		Regions:  p.Phases,
+		Barriers: int(episodes),
+		Acquires: u64(float64(p.CriticalSections*p.Phases) * W),
+	}
+	return res, nil
+}
+
+// cacheRatios is the characterised outcome of one fetch path.
+type cacheRatios struct {
+	miss       float64 // misses per cache access
+	compulsory float64 // compulsory share of those misses
+}
+
+// missRatio walks the profile's code footprints through the real
+// set-associative LRU model to measure the miss ratio this geometry
+// and sharing degree produce. The walk is a few thousand accesses:
+// `sharers` cores in loose lockstep loop over the shared hot
+// footprint, each touches its private code, and a proportional cold
+// stream models the profile's streamed region. Prewarmed runs install
+// the hot set first, exactly like Simulator.Prewarm.
+func (b *analyticalBackend) missRatio(geom cachesim.Config, p synth.Profile, sharers int, prewarm, parallel bool) cacheRatios {
+	cache := cachesim.New(geom)
+	lineBytes := uint64(geom.LineBytes)
+
+	footprint, coldFrac := p.SerialFootprint, p.SerialColdFrac
+	privBytes := 0
+	if parallel {
+		footprint, coldFrac = p.ParallelFootprint, p.ParallelColdFrac
+		privBytes = p.PrivateFootprint
+	}
+	hotLines := uint64(footprint) / lineBytes
+	if hotLines == 0 {
+		hotLines = 1
+	}
+	privLines := uint64(privBytes) / lineBytes
+	coldLines := uint64(p.ColdFootprint) / lineBytes
+	if coldLines == 0 {
+		coldLines = 1
+	}
+
+	const (
+		hotBase  = 0x10_0000
+		privBase = 0x20_0000
+		privStep = 0x1_0000
+		coldBase = 0x80_0000
+	)
+	if prewarm {
+		for l := uint64(0); l < hotLines; l++ {
+			cache.Install(hotBase + l*lineBytes)
+		}
+		for s := 0; s < sharers; s++ {
+			for l := uint64(0); l < privLines; l++ {
+				cache.Install(privBase + uint64(s)*privStep + l*lineBytes)
+			}
+		}
+	}
+
+	// Cold accesses per hot access, bounded so extreme cold fractions
+	// (DC streams 72% of its serial instructions) stay tractable.
+	coldPerHot := 0.0
+	if coldFrac > 0 && coldFrac < 1 {
+		coldPerHot = math.Min(anaColdCapFactor, coldFrac/(1-coldFrac))
+	} else if coldFrac >= 1 {
+		coldPerHot = anaColdCapFactor
+	}
+
+	coldCursor := uint64(0)
+	coldBudget := 0.0
+	for trip := 0; trip < anaTrips; trip++ {
+		// Sharers walk the hot footprint in interleaved chunks — the
+		// loose SPMD lockstep that makes shared caches work at all.
+		for base := uint64(0); base < hotLines; base += anaChunkLines {
+			for s := 0; s < sharers; s++ {
+				for l := base; l < base+anaChunkLines && l < hotLines; l++ {
+					cache.Access(hotBase + l*lineBytes)
+					coldBudget += coldPerHot
+				}
+			}
+		}
+		for s := 0; s < sharers; s++ {
+			for l := uint64(0); l < privLines; l++ {
+				cache.Access(privBase + uint64(s)*privStep + l*lineBytes)
+				coldBudget += coldPerHot
+			}
+		}
+		// The cold stream never revisits a line until it wraps its
+		// (cache-dwarfing) region — a pure compulsory/capacity miss
+		// generator, as in the profiles.
+		for ; coldBudget >= 1; coldBudget-- {
+			cache.Access(coldBase + (coldCursor%coldLines)*lineBytes)
+			coldCursor++
+		}
+	}
+
+	st := cache.Stats()
+	out := cacheRatios{miss: st.MissRatio()}
+	if st.Misses > 0 {
+		out.compulsory = float64(st.Compulsory) / float64(st.Misses)
+	}
+	return out
+}
+
+// lineBufferFilter estimates the fraction of front-end line needs that
+// reach the I-cache: a hot-loop body that fits in the line buffers is
+// re-fetched only at loop entries and on branch-noise redirects, while
+// a larger body streams through the buffers every iteration.
+func lineBufferFilter(hotBody, lineBuffers, lineBytes int, branchNoise float64) float64 {
+	capacity := lineBuffers * lineBytes
+	base := anaLBBase + branchNoise
+	if hotBody <= capacity || hotBody == 0 {
+		return math.Min(1, base)
+	}
+	return math.Min(1, base+float64(hotBody-capacity)/float64(hotBody))
+}
+
+// u64 rounds a non-negative model quantity to an integer counter.
+func u64(v float64) uint64 {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	return uint64(math.Round(v))
+}

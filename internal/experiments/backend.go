@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/synth"
+	"sharedicache/internal/trace"
+)
+
+// Backend is one way of resolving a design point to a result. The
+// cycle-level simulator is the "detailed" backend (the default, and
+// the fidelity reference); the "analytical" backend estimates the same
+// quantities from the Hill & Marty model plus a first-order cache
+// model in microseconds instead of seconds, so million-point triage
+// sweeps can run the full design space and reserve detailed
+// simulation for the frontier the triage surfaces.
+//
+// Implementations must be deterministic — Execute is called at most
+// once per (bench, cfg, prewarm) point behind the Runner's
+// singleflight cache, and campaign reproducibility (sharding, merges,
+// distributed workers) rests on every process computing identical
+// results for identical points. They must also be safe for concurrent
+// Execute calls: one Backend instance serves a whole campaign's
+// fan-out.
+type Backend interface {
+	// Name is the registry key ("detailed", "analytical") drivers and
+	// plan points select backends by.
+	Name() string
+	// Fingerprint is the versioned identity baked into every
+	// persistent-store key (e.g. "detailed/v1"). Bump it whenever the
+	// backend's results change, so stale entries become misses instead
+	// of lies; keep it stable otherwise, so warm stores stay warm.
+	Fingerprint() string
+	// Execute resolves one design point. cfg arrives validated and with
+	// cfg.Workers already normalised to the campaign's worker count.
+	// Execute is always a cache miss — the Runner has already consulted
+	// both cache tiers.
+	Execute(ctx context.Context, bench string, cfg core.Config, prewarm bool) (*core.Result, error)
+}
+
+// BackendFactory builds a backend bound to one campaign's options.
+type BackendFactory func(opts Options) (Backend, error)
+
+// DefaultBackend is the backend used when Options.Backend and
+// Point.Backend are both empty: the cycle-level simulator.
+const DefaultBackend = "detailed"
+
+var (
+	backendMu        sync.RWMutex
+	backendFactories = map[string]BackendFactory{}
+)
+
+// RegisterBackend adds a backend under its selection name. The two
+// built-ins register at init; external packages may register
+// additional backends before building runners. Re-registering a name
+// panics: silently replacing a backend would let two processes of one
+// campaign compute different results for the same store key.
+func RegisterBackend(name string, f BackendFactory) {
+	if name == "" || f == nil {
+		panic("experiments: RegisterBackend needs a name and a factory")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendFactories[name]; dup {
+		panic(fmt.Sprintf("experiments: backend %q registered twice", name))
+	}
+	backendFactories[name] = f
+}
+
+// BackendRegistered reports whether a backend name is available in
+// this process. Distributed workers use it to refuse points they
+// cannot execute faithfully instead of guessing.
+func BackendRegistered(name string) bool {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	_, ok := backendFactories[name]
+	return ok
+}
+
+// BackendNames lists the registered backends, sorted.
+func BackendNames() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backendFactories))
+	for name := range backendFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newBackend instantiates a registered backend for one campaign.
+func newBackend(name string, opts Options) (Backend, error) {
+	backendMu.RLock()
+	f, ok := backendFactories[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown backend %q (have %v)", name, BackendNames())
+	}
+	return f(opts)
+}
+
+func init() {
+	RegisterBackend(DefaultBackend, func(opts Options) (Backend, error) {
+		return &detailedBackend{opts: opts}, nil
+	})
+	RegisterBackend("analytical", func(opts Options) (Backend, error) {
+		return &analyticalBackend{opts: opts}, nil
+	})
+}
+
+// detailedBackend is the cycle-level simulator behind the historical
+// Runner.execute path: synthesise the workload, optionally prewarm,
+// run the full ACMP model. It is bit-identical to the pre-registry
+// code and remains the fidelity reference every other backend is
+// judged against.
+type detailedBackend struct {
+	opts Options
+}
+
+func (b *detailedBackend) Name() string { return DefaultBackend }
+
+// Fingerprint identifies the detailed simulator's result schema inside
+// store keys. v1 is the format-version-2 store baseline.
+func (b *detailedBackend) Fingerprint() string { return "detailed/v1" }
+
+// Execute synthesises the workload and runs the cycle-level simulation
+// for one design point. The simulation loop itself is not
+// interruptible; ctx cancellation is handled by the engine before the
+// point starts.
+func (b *detailedBackend) Execute(_ context.Context, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+	p, ok := synth.ProfileByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", bench)
+	}
+	w, err := synth.New(p, synth.Config{
+		Workers:            b.opts.Workers,
+		MasterInstructions: b.opts.Instructions,
+		Seed:               b.opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]trace.Source, w.NumThreads())
+	for i := range srcs {
+		srcs[i] = w.Source(i)
+	}
+	sim, err := core.New(cfg, srcs)
+	if err != nil {
+		return nil, err
+	}
+	if prewarm {
+		ic := make([][]uint64, len(srcs))
+		l2 := make([][]uint64, len(srcs))
+		for i := range srcs {
+			ic[i] = w.WarmLines(i, cfg.ICache.LineBytes)
+			l2[i] = w.L2WarmLines(i, cfg.Mem.L2.LineBytes)
+		}
+		sim.Prewarm(ic, l2)
+	}
+	return sim.Run()
+}

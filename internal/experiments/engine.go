@@ -12,11 +12,16 @@ import (
 // Point is one design point of a campaign plan: a benchmark run on one
 // ACMP configuration. Cold forces prewarming off for this point (the
 // Fig 11 / Ext B miss-count runs); otherwise the campaign's Prewarm
-// option applies.
+// option applies. Backend overrides the campaign's Options.Backend for
+// this point only (empty means the campaign default), so one campaign
+// can mix analytical triage points with detailed frontier points; the
+// override travels with the point through sharding and the distributed
+// coordinator's wire format.
 type Point struct {
-	Bench string
-	Cfg   core.Config
-	Cold  bool
+	Bench   string
+	Cfg     core.Config
+	Cold    bool
+	Backend string `json:",omitempty"`
 }
 
 // Plan is an ordered batch of design points. Figure generators declare
@@ -49,6 +54,13 @@ func (p *Plan) AddCold(bench string, cfg core.Config) int {
 	return len(p.points) - 1
 }
 
+// AddPoint appends a fully specified design point — including a
+// per-point backend override — and returns its result index.
+func (p *Plan) AddPoint(pt Point) int {
+	p.points = append(p.points, pt)
+	return len(p.points) - 1
+}
+
 // Len reports how many points the plan holds.
 func (p *Plan) Len() int { return len(p.points) }
 
@@ -64,7 +76,7 @@ func (p *Plan) RunAll(ctx context.Context) ([]*core.Result, error) {
 	err := fanOut(ctx, len(p.points), p.r.opts.parallelism(), func(ctx context.Context, i int) error {
 		pt := p.points[i]
 		prewarm := p.r.opts.Prewarm && !pt.Cold
-		res, err := p.r.simulate(ctx, pt.Bench, pt.Cfg, prewarm)
+		res, err := p.r.simulate(ctx, p.r.pointBackend(pt), pt.Bench, pt.Cfg, prewarm)
 		if err != nil {
 			return err
 		}

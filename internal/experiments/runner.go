@@ -21,12 +21,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"sharedicache/internal/core"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/synth"
-	"sharedicache/internal/trace"
 )
 
 // Options scales a whole experiment campaign.
@@ -60,6 +58,13 @@ type Options struct {
 	// deterministic per design point, and results are returned in plan
 	// order.
 	Parallelism int
+	// Backend selects the simulation backend every point of the
+	// campaign runs on, unless a Point carries its own override. Empty
+	// means DefaultBackend ("detailed", the cycle-level simulator);
+	// "analytical" trades fidelity for orders-of-magnitude speed (see
+	// RegisterBackend). The backend is part of every persistent-store
+	// key, so campaigns on different backends never share entries.
+	Backend string
 }
 
 // DefaultOptions returns the campaign configuration used by
@@ -87,7 +92,16 @@ func (o Options) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Validate reports option errors, including unknown benchmark names.
+// backendName resolves the campaign-wide backend selection.
+func (o Options) backendName() string {
+	if o.Backend != "" {
+		return o.Backend
+	}
+	return DefaultBackend
+}
+
+// Validate reports option errors, including unknown benchmark names
+// and unregistered backends.
 func (o Options) Validate() error {
 	if o.Workers < 1 {
 		return fmt.Errorf("experiments: Workers = %d must be positive", o.Workers)
@@ -97,6 +111,9 @@ func (o Options) Validate() error {
 	}
 	if o.Parallelism < 0 {
 		return fmt.Errorf("experiments: Parallelism = %d must be >= 0", o.Parallelism)
+	}
+	if !BackendRegistered(o.backendName()) {
+		return fmt.Errorf("experiments: unknown backend %q (have %v)", o.backendName(), BackendNames())
 	}
 	for _, b := range o.Benchmarks {
 		if _, ok := synth.ProfileByName(b); !ok {
@@ -143,15 +160,21 @@ type Runner struct {
 	mu    sync.Mutex
 	runs  map[runKey]*runEntry
 	store ResultStore
-
-	// sims counts simulations actually executed (cache misses in both
-	// tiers); the singleflight regression tests pin it against
-	// duplicated work, and the persistent-cache tests pin it at zero
-	// against a warm store.
-	sims atomic.Int64
+	// backends memoises instantiated backends by name. simsBy counts
+	// simulations actually executed (cache misses in both tiers) per
+	// backend: the singleflight regression tests pin the total against
+	// duplicated work, the persistent-cache tests pin it at zero
+	// against a warm store, and the analytical smoke tests pin
+	// simsBy["detailed"] at zero for triage sweeps.
+	backends map[string]Backend
+	simsBy   map[string]int64
 }
 
+// runKey identifies one design point in the memory cache tier. The
+// backend is part of the identity: the same (bench, cfg, prewarm)
+// point under two backends is two runs, never one.
 type runKey struct {
+	backend string
 	bench   string
 	cfg     core.Config
 	prewarm bool
@@ -170,7 +193,59 @@ func NewRunner(opts Options) (*Runner, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{opts: opts, runs: map[runKey]*runEntry{}}, nil
+	return &Runner{
+		opts:     opts,
+		runs:     map[runKey]*runEntry{},
+		backends: map[string]Backend{},
+		simsBy:   map[string]int64{},
+	}, nil
+}
+
+// backend returns the memoised backend instance for name.
+func (r *Runner) backend(name string) (Backend, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.backends[name]; ok {
+		return b, nil
+	}
+	b, err := newBackend(name, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	r.backends[name] = b
+	return b, nil
+}
+
+// backendFingerprint resolves the store-key identity of a backend
+// name. An unregistered name falls back to the name itself so key
+// computation stays total (Plan.Shard and PointKey cannot fail) — but
+// such keys never match the ones a process that HAS the backend
+// writes, so they must stay local: distributed coordination refuses
+// plans with unresolvable backends outright (campaignd.New) rather
+// than let the divergence silently wedge a merge.
+func (r *Runner) backendFingerprint(name string) string {
+	if b, err := r.backend(name); err == nil {
+		return b.Fingerprint()
+	}
+	return name
+}
+
+// PointBackend resolves the backend a plan point runs on under these
+// options: the point's own override if set, the campaign backend
+// otherwise, DefaultBackend if neither names one. It is THE resolution
+// rule — the engine dispatches with it, and the distributed
+// coordinator and workers consult it so their validation and forfeit
+// decisions cannot drift from what a runner would actually execute.
+func (o Options) PointBackend(pt Point) string {
+	if pt.Backend != "" {
+		return pt.Backend
+	}
+	return o.backendName()
+}
+
+// pointBackend is the runner-side shorthand for Options.PointBackend.
+func (r *Runner) pointBackend(pt Point) string {
+	return r.opts.PointBackend(pt)
 }
 
 // Options returns the campaign options.
@@ -214,20 +289,23 @@ func (r *Runner) Store() ResultStore {
 
 // fingerprint identifies the result-affecting campaign options inside
 // every persistent-store key. CharInstructions is stored resolved so
-// an explicit budget equal to the default hashes identically.
-func (r *Runner) fingerprint() runstore.Fingerprint {
+// an explicit budget equal to the default hashes identically, and the
+// backend identity is stored as its versioned fingerprint so backends
+// can never cross-pollute each other's cached entries.
+func (r *Runner) fingerprint(backend string) runstore.Fingerprint {
 	return runstore.Fingerprint{
 		Workers:          r.opts.Workers,
 		Instructions:     r.opts.Instructions,
 		Seed:             r.opts.Seed,
 		CharInstructions: r.opts.charInstructions(),
+		Backend:          r.backendFingerprint(backend),
 	}
 }
 
 // storeKey builds the persistent-store key for one resolved design
 // point (cfg.Workers already normalised).
-func (r *Runner) storeKey(bench string, cfg core.Config, prewarm bool) runstore.Key {
-	return runstore.Key{Bench: bench, Config: cfg, Prewarm: prewarm, Campaign: r.fingerprint()}
+func (r *Runner) storeKey(backend, bench string, cfg core.Config, prewarm bool) runstore.Key {
+	return runstore.Key{Bench: bench, Config: cfg, Prewarm: prewarm, Campaign: r.fingerprint(backend)}
 }
 
 // PointKey returns the persistent-store key the runner would use for
@@ -235,7 +313,7 @@ func (r *Runner) storeKey(bench string, cfg core.Config, prewarm bool) runstore.
 func (r *Runner) PointKey(pt Point) runstore.Key {
 	cfg := pt.Cfg
 	cfg.Workers = r.opts.Workers
-	return r.storeKey(pt.Bench, cfg, r.opts.Prewarm && !pt.Cold)
+	return r.storeKey(r.pointBackend(pt), pt.Bench, cfg, r.opts.Prewarm && !pt.Cold)
 }
 
 // Lookup resolves pt from the persistent store only, without
@@ -250,15 +328,6 @@ func (r *Runner) Lookup(pt Point) (*core.Result, bool) {
 	return st.Get(r.PointKey(pt))
 }
 
-// workload synthesises the benchmark's workload for these options.
-func (r *Runner) workload(p synth.Profile) (*synth.Workload, error) {
-	return synth.New(p, synth.Config{
-		Workers:            r.opts.Workers,
-		MasterInstructions: r.opts.Instructions,
-		Seed:               r.opts.Seed,
-	})
-}
-
 // charWorkload synthesises the longer workload the characterisation
 // figures (2-4) walk.
 func (r *Runner) charWorkload(p synth.Profile) (*synth.Workload, error) {
@@ -270,28 +339,29 @@ func (r *Runner) charWorkload(p synth.Profile) (*synth.Workload, error) {
 }
 
 // Simulate runs (or returns the cached result of) one benchmark on one
-// ACMP configuration, honouring the campaign's Prewarm option.
+// ACMP configuration, honouring the campaign's Prewarm option and
+// backend selection.
 func (r *Runner) Simulate(bench string, cfg core.Config) (*core.Result, error) {
-	return r.simulate(context.Background(), bench, cfg, r.opts.Prewarm)
+	return r.simulate(context.Background(), r.opts.backendName(), bench, cfg, r.opts.Prewarm)
 }
 
 // SimulateCold is Simulate with prewarming forced off, for the
 // experiments whose subject is the cold-miss behaviour itself.
 func (r *Runner) SimulateCold(bench string, cfg core.Config) (*core.Result, error) {
-	return r.simulate(context.Background(), bench, cfg, false)
+	return r.simulate(context.Background(), r.opts.backendName(), bench, cfg, false)
 }
 
 // SimulateContext is Simulate with cancellation: if ctx is done before
 // the simulation starts (or while waiting on another goroutine's
 // in-flight run of the same point), it returns ctx.Err().
 func (r *Runner) SimulateContext(ctx context.Context, bench string, cfg core.Config) (*core.Result, error) {
-	return r.simulate(ctx, bench, cfg, r.opts.Prewarm)
+	return r.simulate(ctx, r.opts.backendName(), bench, cfg, r.opts.Prewarm)
 }
 
 // simulate resolves one design point through the singleflight cache.
-func (r *Runner) simulate(ctx context.Context, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+func (r *Runner) simulate(ctx context.Context, backend, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
 	cfg.Workers = r.opts.Workers
-	key := runKey{bench: bench, cfg: cfg, prewarm: prewarm}
+	key := runKey{backend: backend, bench: bench, cfg: cfg, prewarm: prewarm}
 
 	r.mu.Lock()
 	if e, ok := r.runs[key]; ok {
@@ -316,12 +386,12 @@ func (r *Runner) simulate(ctx context.Context, bench string, cfg core.Config, pr
 	st := r.store
 	r.mu.Unlock()
 
-	e.res, e.err = r.executeOrLoad(st, bench, cfg, prewarm)
+	e.res, e.err = r.executeOrLoad(ctx, st, backend, bench, cfg, prewarm)
 	if e.err != nil {
 		// Drop failed entries so a later call can retry; waiters already
 		// holding the entry still observe the error.
-		e.err = fmt.Errorf("experiments: %s on %s/cpc=%d: %w",
-			bench, cfg.Organization, cfg.CPC, e.err)
+		e.err = fmt.Errorf("experiments: %s on %s/cpc=%d [%s]: %w",
+			bench, cfg.Organization, cfg.CPC, backend, e.err)
 		r.mu.Lock()
 		delete(r.runs, key)
 		r.mu.Unlock()
@@ -331,57 +401,42 @@ func (r *Runner) simulate(ctx context.Context, bench string, cfg core.Config, pr
 }
 
 // executeOrLoad resolves a memory-tier miss: disk first when a store
-// is attached, then simulation with a write-back. A persist failure is
-// surfaced as an error — a sharded campaign whose shards cannot see
-// each other's results is broken, not degraded.
-func (r *Runner) executeOrLoad(st ResultStore, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+// is attached, then the selected backend with a write-back. A persist
+// failure is surfaced as an error — a sharded campaign whose shards
+// cannot see each other's results is broken, not degraded.
+func (r *Runner) executeOrLoad(ctx context.Context, st ResultStore, backend, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
 	if st != nil {
-		if res, ok := st.Get(r.storeKey(bench, cfg, prewarm)); ok {
+		if res, ok := st.Get(r.storeKey(backend, bench, cfg, prewarm)); ok {
 			return res, nil
 		}
 	}
-	res, err := r.execute(bench, cfg, prewarm)
+	res, err := r.execute(ctx, backend, bench, cfg, prewarm)
 	if err != nil {
 		return nil, err
 	}
 	if st != nil {
-		if err := st.Put(r.storeKey(bench, cfg, prewarm), res); err != nil {
+		if err := st.Put(r.storeKey(backend, bench, cfg, prewarm), res); err != nil {
 			return nil, fmt.Errorf("persist result: %w", err)
 		}
 	}
 	return res, nil
 }
 
-// execute synthesises the workload and runs the simulation for one
-// design point (always a cache miss).
-func (r *Runner) execute(bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
-	p, ok := synth.ProfileByName(bench)
-	if !ok {
-		return nil, fmt.Errorf("unknown benchmark %q", bench)
-	}
-	w, err := r.workload(p)
+// execute dispatches one design point (always a cache miss) to its
+// backend and books the execution in the per-backend counters.
+func (r *Runner) execute(ctx context.Context, backend, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+	b, err := r.backend(backend)
 	if err != nil {
 		return nil, err
 	}
-	srcs := make([]trace.Source, w.NumThreads())
-	for i := range srcs {
-		srcs[i] = w.Source(i)
-	}
-	sim, err := core.New(cfg, srcs)
+	res, err := b.Execute(ctx, bench, cfg, prewarm)
 	if err != nil {
 		return nil, err
 	}
-	if prewarm {
-		ic := make([][]uint64, len(srcs))
-		l2 := make([][]uint64, len(srcs))
-		for i := range srcs {
-			ic[i] = w.WarmLines(i, cfg.ICache.LineBytes)
-			l2[i] = w.L2WarmLines(i, cfg.Mem.L2.LineBytes)
-		}
-		sim.Prewarm(ic, l2)
-	}
-	r.sims.Add(1)
-	return sim.Run()
+	r.mu.Lock()
+	r.simsBy[backend]++
+	r.mu.Unlock()
+	return res, nil
 }
 
 // CachedRuns reports how many distinct simulations have completed
@@ -405,7 +460,28 @@ func (r *Runner) CachedRuns() int {
 // Simulations reports how many simulations have actually executed —
 // with an effective cache this equals CachedRuns; a larger value means
 // duplicated work.
-func (r *Runner) Simulations() int { return int(r.sims.Load()) }
+func (r *Runner) Simulations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, c := range r.simsBy {
+		n += c
+	}
+	return int(n)
+}
+
+// BackendRuns reports executed simulations broken down by backend
+// name. Backends that never ran are absent; the analytical triage
+// smoke tests pin the "detailed" entry at zero.
+func (r *Runner) BackendRuns() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.simsBy))
+	for name, n := range r.simsBy {
+		out[name] = int(n)
+	}
+	return out
+}
 
 // baselineConfig is the Fig 5a private-I-cache ACMP.
 func baselineConfig() core.Config { return core.DefaultConfig() }

@@ -76,7 +76,7 @@ func (p *Plan) RunAllStream(ctx context.Context) (<-chan PointResult, error) {
 		planErr = fanOut(ctx, n, p.r.opts.parallelism(), func(ctx context.Context, i int) error {
 			pt := p.points[i]
 			prewarm := p.r.opts.Prewarm && !pt.Cold
-			res, err := p.r.simulate(ctx, pt.Bench, pt.Cfg, prewarm)
+			res, err := p.r.simulate(ctx, p.r.pointBackend(pt), pt.Bench, pt.Cfg, prewarm)
 			if err != nil {
 				return err
 			}

@@ -26,10 +26,10 @@ func (e IndexEntry) String() string {
 	if e.Key.Prewarm {
 		prewarm = "warm"
 	}
-	return fmt.Sprintf("%s  %-10s %-13s cpc=%d %2dKB lb=%d bus=%d %s n=%d seed=%d  %dB",
+	return fmt.Sprintf("%s  %-10s %-13s cpc=%d %2dKB lb=%d bus=%d %s %s n=%d seed=%d  %dB",
 		e.Hash[:16], e.Key.Bench, e.Key.Config.Organization, e.Key.Config.CPC,
 		e.Key.Config.ICache.SizeBytes>>10, e.Key.Config.LineBuffers,
-		e.Key.Config.Buses, prewarm,
+		e.Key.Config.Buses, prewarm, e.Key.Campaign.Backend,
 		e.Key.Campaign.Instructions, e.Key.Campaign.Seed, e.Bytes)
 }
 

@@ -12,17 +12,23 @@
 //
 // Writes are atomic (temp file + rename into place), so concurrent
 // writers on one directory — even racing on the same key — leave only
-// complete entries behind. Reads are corruption-tolerant: a truncated,
-// garbled, stale-version or mislabelled entry is treated as a cache
-// miss, never as an error; GC exists to sweep such debris.
+// complete entries behind. Entries are gzip-compressed on disk (and
+// over the network store plane); reads sniff the gzip magic, so
+// uncompressed entries remain transparently readable. Reads are
+// corruption-tolerant: a truncated, garbled, stale-version or
+// mislabelled entry is treated as a cache miss, never as an error; GC
+// exists to sweep such debris.
 package runstore
 
 import (
+	"bytes"
+	"compress/gzip"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -32,8 +38,11 @@ import (
 
 // FormatVersion is baked into every entry and into the key hash, so a
 // change to the on-disk schema invalidates old stores wholesale
-// instead of half-reading them.
-const FormatVersion = 1
+// instead of half-reading them. Version 2 added the Backend field to
+// Fingerprint and gzip entry compression; entries written by version 1
+// are deliberately invalidated (re-simulate or keep the old store
+// directory around for the old binary).
+const FormatVersion = 2
 
 // Fingerprint captures the campaign options that affect simulation
 // results. Any change to these invalidates every entry (the
@@ -45,6 +54,12 @@ type Fingerprint struct {
 	Instructions     uint64
 	Seed             uint64
 	CharInstructions uint64
+	// Backend is the versioned ID of the simulation backend that
+	// produced the result (e.g. "detailed/v1", "analytical/v1"). It is
+	// part of the key hash so results from different backends can never
+	// cross-pollute: a warm detailed store is a clean miss for an
+	// analytical campaign and vice versa.
+	Backend string
 }
 
 // Key is the canonical identity of one stored result.
@@ -154,12 +169,68 @@ func Encode(k Key, res *core.Result) ([]byte, error) {
 	return raw, nil
 }
 
-// DecodeEntry parses entry bytes and reports whether they are
-// trustworthy: parseable, of the current format version, and carrying
-// a result. Callers that know which key (or content address) they
-// asked for must additionally compare it against the returned key —
-// Decode and GetRaw do.
+// Compress gzip-wraps canonical entry bytes — the form Put writes to
+// disk and RemoteStore ships over the wire (entries are ~4.6 KB of
+// highly repetitive JSON; gzip shrinks them several-fold). The gzip
+// header carries no timestamp, so compression is deterministic.
+func Compress(raw []byte) []byte {
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	zw.Write(raw)
+	zw.Close()
+	return buf.Bytes()
+}
+
+// maxPlainEntryBytes bounds the decompressed size of one entry. Legit
+// entries are a few KB of JSON; the bound exists so a crafted gzip
+// bomb handed to the (unauthenticated) store plane cannot expand a
+// small request body into gigabytes of memory.
+const maxPlainEntryBytes = 16 << 20
+
+// maybeDecompress transparently unwraps gzip-compressed entry bytes,
+// sniffing the gzip magic so uncompressed (legacy-format or
+// plain-JSON wire) entries pass through untouched. A payload that
+// claims to be gzip but does not decompress — or expands past
+// maxPlainEntryBytes (a gzip bomb) — is untrustworthy.
+func maybeDecompress(raw []byte) ([]byte, bool) {
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		return raw, true
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, false
+	}
+	plain, err := io.ReadAll(io.LimitReader(zr, maxPlainEntryBytes+1))
+	if err != nil || zr.Close() != nil || len(plain) > maxPlainEntryBytes {
+		return nil, false
+	}
+	return plain, true
+}
+
+// Decompress returns the canonical JSON form of entry bytes,
+// unwrapping the gzip layer when present and passing plain payloads
+// through; ok is false when a payload claims to be gzip but does not
+// decompress. The store plane uses it to serve clients that do not
+// accept gzip.
+func Decompress(raw []byte) ([]byte, bool) { return maybeDecompress(raw) }
+
+// Compressed reports whether raw is a gzip-wrapped payload (by magic
+// number). The store plane uses it to decide whether stored bytes can
+// ship with Content-Encoding: gzip as-is.
+func Compressed(raw []byte) bool {
+	return len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b
+}
+
+// DecodeEntry parses entry bytes — gzip-compressed or plain — and
+// reports whether they are trustworthy: parseable, of the current
+// format version, and carrying a result. Callers that know which key
+// (or content address) they asked for must additionally compare it
+// against the returned key — Decode and GetRaw do.
 func DecodeEntry(raw []byte) (Key, *core.Result, bool) {
+	raw, ok := maybeDecompress(raw)
+	if !ok {
+		return Key{}, nil, false
+	}
 	var e entry
 	if err := json.Unmarshal(raw, &e); err != nil ||
 		e.Version != FormatVersion || e.Result == nil {
@@ -209,10 +280,13 @@ func (s *Store) Get(k Key) (*core.Result, bool) {
 	return nil, false
 }
 
-// GetRaw returns the canonical entry bytes stored under the given
-// content address, validating them first: a file that Get would refuse
-// to trust is a miss here too, so the network store plane can never
-// serve debris.
+// GetRaw returns the entry bytes stored under the given content
+// address exactly as they sit on disk (normally gzip-compressed;
+// possibly plain for entries written by other tooling), validating
+// them first: a file that Get would refuse to trust is a miss here
+// too, so the network store plane can never serve debris. Callers
+// shipping the bytes onward should check Compressed to label the
+// encoding; DecodeEntry on the receiving end accepts either form.
 func (s *Store) GetRaw(hash string) ([]byte, bool) {
 	if !ValidHash(hash) {
 		s.misses.Add(1)
@@ -246,14 +320,17 @@ func (s *Store) ContainsHash(hash string) bool {
 	return ok
 }
 
-// Put persists res under k atomically: the entry is written to a temp
-// file in the store directory and renamed into place, so a reader (or
-// a concurrent writer of the same key) never observes a partial entry.
+// Put persists res under k atomically: the entry is gzip-compressed,
+// written to a temp file in the store directory and renamed into
+// place, so a reader (or a concurrent writer of the same key) never
+// observes a partial entry. Reads accept uncompressed entries too, so
+// a directory mixing entries from both forms stays fully readable.
 func (s *Store) Put(k Key, res *core.Result) error {
-	raw, err := Encode(k, res)
+	plain, err := Encode(k, res)
 	if err != nil {
 		return err
 	}
+	raw := Compress(plain)
 	tmp, err := os.CreateTemp(s.dir, tmpPattern)
 	if err != nil {
 		return fmt.Errorf("runstore: %w", err)

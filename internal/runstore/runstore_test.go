@@ -82,28 +82,41 @@ func TestRoundTrip(t *testing.T) {
 // then update the constant below).
 func TestGoldenKeyHash(t *testing.T) {
 	k := Key{
-		Bench:    "FT",
-		Config:   core.DefaultConfig(),
-		Prewarm:  true,
-		Campaign: Fingerprint{Workers: 8, Instructions: 120_000, Seed: 1, CharInstructions: 2_000_000},
+		Bench:   "FT",
+		Config:  core.DefaultConfig(),
+		Prewarm: true,
+		Campaign: Fingerprint{Workers: 8, Instructions: 120_000, Seed: 1,
+			CharInstructions: 2_000_000, Backend: "detailed/v1"},
 	}
-	const want = "be1cbe758934f6199eb407c343526c25826151caf9f3ac6863b854b757614d47"
+	const want = "6c14df848d0f43d0eb95f3084df0314c9e1268c70d03f93e1f79239162600166"
 	if got := k.Hex(); got != want {
 		t.Fatalf("key hash drifted:\n got %s\nwant %s", got, want)
 	}
 }
 
 func TestCorruptEntryIsMiss(t *testing.T) {
-	corruptions := map[string]func([]byte) []byte{
-		"garbage":   func([]byte) []byte { return []byte("not json at all") },
-		"truncated": func(raw []byte) []byte { return raw[:len(raw)/2] },
-		"version": func(raw []byte) []byte {
-			return []byte(strings.Replace(string(raw), `"Version":1`, `"Version":999`, 1))
+	// unzip recovers the canonical JSON from the (compressed) disk
+	// bytes so corruptions can edit fields; writing the result back
+	// uncompressed is itself valid (reads sniff the gzip magic).
+	unzip := func(t *testing.T, raw []byte) []byte {
+		t.Helper()
+		plain, ok := maybeDecompress(raw)
+		if !ok {
+			t.Fatal("stored entry did not decompress")
+		}
+		return plain
+	}
+	corruptions := map[string]func(*testing.T, []byte) []byte{
+		"garbage":   func(*testing.T, []byte) []byte { return []byte("not json at all") },
+		"truncated": func(_ *testing.T, raw []byte) []byte { return raw[:len(raw)/2] },
+		"gzip-junk": func(*testing.T, []byte) []byte { return []byte{0x1f, 0x8b, 'x', 'y', 'z'} },
+		"version": func(t *testing.T, raw []byte) []byte {
+			return []byte(strings.Replace(string(unzip(t, raw)), `"Version":2`, `"Version":999`, 1))
 		},
-		"wrong-key": func(raw []byte) []byte {
-			return []byte(strings.Replace(string(raw), `"Bench":"FT1"`, `"Bench":"ZZ"`, 1))
+		"wrong-key": func(t *testing.T, raw []byte) []byte {
+			return []byte(strings.Replace(string(unzip(t, raw)), `"Bench":"FT1"`, `"Bench":"ZZ"`, 1))
 		},
-		"empty": func([]byte) []byte { return nil },
+		"empty": func(*testing.T, []byte) []byte { return nil },
 	}
 	for name, corrupt := range corruptions {
 		t.Run(name, func(t *testing.T) {
@@ -116,7 +129,7 @@ func TestCorruptEntryIsMiss(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := os.WriteFile(s.path(k), corrupt(raw), 0o644); err != nil {
+			if err := os.WriteFile(s.path(k), corrupt(t, raw), 0o644); err != nil {
 				t.Fatal(err)
 			}
 			if _, ok := s.Get(k); ok {
@@ -295,8 +308,9 @@ func TestWireCodec(t *testing.T) {
 		t.Fatal("Encode accepted a nil result")
 	}
 
-	// The wire bytes are exactly the disk bytes, so serving a file over
-	// HTTP and writing a PUT body to disk are both identity operations.
+	// The disk bytes are the gzip wrap of the canonical encoding, so
+	// serving a file over the wire ships the compressed form and either
+	// end can unwrap it back to the exact canonical bytes.
 	s := open(t)
 	if err := s.Put(k, res); err != nil {
 		t.Fatal(err)
@@ -305,13 +319,19 @@ func TestWireCodec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(disk) != string(raw) {
-		t.Fatal("wire encoding differs from disk encoding")
+	if !Compressed(disk) {
+		t.Fatal("Put left an uncompressed entry on disk")
+	}
+	if plain, ok := maybeDecompress(disk); !ok || string(plain) != string(raw) {
+		t.Fatal("disk entry does not decompress to the canonical encoding")
+	}
+	if got, ok := Decode(disk, k); !ok || !reflect.DeepEqual(got, res) {
+		t.Fatal("Decode rejected the compressed disk form")
 	}
 
 	served, ok := s.GetRaw(k.Hex())
-	if !ok || string(served) != string(raw) {
-		t.Fatal("GetRaw did not serve the canonical entry bytes")
+	if !ok || string(served) != string(disk) {
+		t.Fatal("GetRaw did not serve the stored entry bytes")
 	}
 	if _, ok := s.GetRaw("not-a-hash"); ok {
 		t.Fatal("GetRaw accepted a malformed content address")
@@ -321,6 +341,66 @@ func TestWireCodec(t *testing.T) {
 	}
 	if !s.ContainsHash(k.Hex()) || s.ContainsHash(testKey(9).Hex()) {
 		t.Fatal("ContainsHash disagrees with the store contents")
+	}
+}
+
+// TestLegacyUncompressedEntryReadable pins the migration contract for
+// compression: an uncompressed current-version entry (written by older
+// tooling or a plain-JSON wire PUT) is read transparently, and the
+// compressed round trip is lossless and smaller than the plain form.
+func TestLegacyUncompressedEntryReadable(t *testing.T) {
+	s := open(t)
+	k, res := testKey(5), testResult(5)
+	plain, err := Encode(k, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant the entry uncompressed, bypassing Put.
+	if err := os.WriteFile(s.path(k), plain, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !reflect.DeepEqual(got, res) {
+		t.Fatal("uncompressed entry was not read transparently")
+	}
+	if raw, ok := s.GetRaw(k.Hex()); !ok || Compressed(raw) {
+		t.Fatal("GetRaw mangled an uncompressed entry")
+	}
+	entries, err := s.Index()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("Index over an uncompressed entry: %v, %d entries", err, len(entries))
+	}
+	// A GC sweep must not treat the readable uncompressed entry as debris.
+	if removed, err := s.GC(); err != nil || removed != 0 {
+		t.Fatalf("GC removed %d files (err %v), want 0", removed, err)
+	}
+
+	zipped := Compress(plain)
+	if len(zipped) >= len(plain) {
+		t.Fatalf("compression grew the entry: %d -> %d bytes", len(plain), len(zipped))
+	}
+	if back, ok := maybeDecompress(zipped); !ok || string(back) != string(plain) {
+		t.Fatal("compress/decompress round trip is lossy")
+	}
+	if !Compressed(zipped) || Compressed(plain) {
+		t.Fatal("Compressed misclassifies payloads")
+	}
+}
+
+// TestDecompressionBomb pins the decompressed-size bound: a tiny gzip
+// payload that inflates past the entry cap is untrustworthy (a miss),
+// not a multi-gigabyte allocation — the store plane accepts PUTs from
+// anyone on the network.
+func TestDecompressionBomb(t *testing.T) {
+	bomb := Compress(make([]byte, maxPlainEntryBytes+2))
+	if len(bomb) > 64<<10 {
+		t.Fatalf("bomb did not compress: %d bytes", len(bomb))
+	}
+	if _, _, ok := DecodeEntry(bomb); ok {
+		t.Fatal("DecodeEntry trusted a decompression bomb")
+	}
+	if _, ok := Decompress(bomb); ok {
+		t.Fatal("Decompress expanded a bomb past the entry cap")
 	}
 }
 

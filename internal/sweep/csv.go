@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"sharedicache/internal/core"
+	"sharedicache/internal/experiments"
 	"sharedicache/internal/power"
 )
 
@@ -20,6 +21,11 @@ type CSV struct {
 	tech     power.Tech
 	baseCfg  core.Config
 	baseReps map[string]power.Report
+	// backendCol inserts a backend column after the benchmark name.
+	// It is off by default so the historical CSV schema — which the
+	// byte-identity guarantees of the store and coordinator smoke
+	// tests diff against — is unchanged unless a backend was named.
+	backendCol bool
 }
 
 // NewCSV builds an emitter for a sweep over the given worker count.
@@ -32,11 +38,20 @@ func NewCSV(out io.Writer, workers int) *CSV {
 	}
 }
 
+// IncludeBackendColumn adds a backend column to the output (call
+// before Header). Drivers enable it exactly when a -backend flag was
+// given, so default output stays byte-identical to older releases.
+func (c *CSV) IncludeBackendColumn() { c.backendCol = true }
+
 // Header writes the column header row.
 func (c *CSV) Header() error {
-	return c.w.Write([]string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
+	cols := []string{"benchmark", "cpc", "size_kb", "line_buffers", "buses",
 		"time_ratio", "worker_mpki", "access_ratio", "bus_avg_wait",
-		"area_ratio", "energy_ratio"})
+		"area_ratio", "energy_ratio"}
+	if c.backendCol {
+		cols = append([]string{cols[0], "backend"}, cols[1:]...)
+	}
+	return c.w.Write(cols)
 }
 
 // Row renders one design point against its baseline, computing (and
@@ -54,16 +69,24 @@ func (c *CSV) Row(m Row, base, res *core.Result) error {
 		c.baseReps[m.Bench] = baseRep
 	}
 	_, er, ar := rep.Relative(baseRep)
-	return c.w.Write([]string{
-		m.Bench,
+	cells := []string{m.Bench}
+	if c.backendCol {
+		backend := m.Backend
+		if backend == "" {
+			backend = experiments.DefaultBackend
+		}
+		cells = append(cells, backend)
+	}
+	cells = append(cells,
 		strconv.Itoa(m.CPC), strconv.Itoa(m.KB),
 		strconv.Itoa(m.LB), strconv.Itoa(m.Bus),
-		f(float64(res.Cycles) / float64(base.Cycles)),
+		f(float64(res.Cycles)/float64(base.Cycles)),
 		f(res.WorkerMPKI()),
 		f(res.WorkerAccessRatio()),
 		f(res.Bus.AvgWait()),
 		f(ar), f(er),
-	})
+	)
+	return c.w.Write(cells)
 }
 
 // Flush drains the writer and surfaces its sticky error.

@@ -21,6 +21,12 @@ type Flags struct {
 	Workers                                int
 	Seed                                   uint64
 	Cold                                   bool
+	// Backend selects the simulation backend for every swept point.
+	// Empty (the default) runs the detailed cycle-level simulator and
+	// leaves the CSV schema untouched; any explicit value — including
+	// "detailed" — also adds a backend column to the CSV, so triage
+	// and frontier outputs are self-describing when mixed.
+	Backend string
 }
 
 // RegisterFlags declares the shared flags on fs and returns the
@@ -36,6 +42,7 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Workers, "workers", 8, "worker core count")
 	fs.Uint64Var(&f.Seed, "seed", 1, "synthesis seed")
 	fs.BoolVar(&f.Cold, "cold", false, "cold caches instead of steady state")
+	fs.StringVar(&f.Backend, "backend", "", "simulation backend: detailed (default) or analytical; setting it adds a backend column to the CSV")
 	return f
 }
 
@@ -62,6 +69,7 @@ func (f *Flags) Options() (experiments.Options, error) {
 	opts.Seed = f.Seed
 	opts.Prewarm = !f.Cold
 	opts.Benchmarks = benches
+	opts.Backend = f.Backend
 	return opts, nil
 }
 
@@ -71,7 +79,7 @@ func (f *Flags) Space() (Space, error) {
 	if err != nil {
 		return Space{}, err
 	}
-	sp := Space{Benches: benches}
+	sp := Space{Benches: benches, Backend: f.Backend}
 	for _, axis := range []struct {
 		dst *[]int
 		csv string

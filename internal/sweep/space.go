@@ -20,14 +20,22 @@ type Space struct {
 	// CPCs, SizesKB, LineBuffers and Buses are the shared-I-cache axes;
 	// their cross product (minus invalid combinations) is the swept set.
 	CPCs, SizesKB, LineBuffers, Buses []int
+	// Backend stamps every swept point (and its baseline) with a
+	// simulation-backend override. Empty keeps the campaign default;
+	// the points carry the name explicitly, so a distributed worker
+	// executes the coordinator's choice rather than its own default.
+	Backend string
 }
 
 // Row ties one CSV output row to its plan indexes: the shared design
 // point it reports and the private baseline it is normalised against.
+// Backend records which simulation backend produced the row, for the
+// optional backend CSV column.
 type Row struct {
 	Bench             string
 	CPC, KB, LB, Bus  int
 	BaseIdx, PointIdx int
+	Backend           string
 }
 
 // Build declares the full campaign on r in CSV emission order — per
@@ -41,8 +49,15 @@ func (sp Space) Build(r *experiments.Runner) (*experiments.Plan, []Row) {
 	plan := r.Plan()
 	baseIdx := map[string]int{}
 	var rows []Row
+	add := func(bench string, cfg core.Config) int {
+		return plan.AddPoint(experiments.Point{Bench: bench, Cfg: cfg, Backend: sp.Backend})
+	}
+	// Rows are labelled with the backend the points will actually run
+	// on — resolved through the runner's own rule, so a Space left at
+	// "" over a runner with Options.Backend set still labels truthfully.
+	rowBackend := r.Options().PointBackend(experiments.Point{Backend: sp.Backend})
 	for _, b := range sp.Benches {
-		baseIdx[b] = plan.Add(b, BaseConfig(workers))
+		baseIdx[b] = add(b, BaseConfig(workers))
 		for _, cpc := range sp.CPCs {
 			if workers%cpc != 0 || cpc < 2 {
 				continue
@@ -62,7 +77,8 @@ func (sp Space) Build(r *experiments.Runner) (*experiments.Plan, []Row) {
 						}
 						rows = append(rows, Row{
 							Bench: b, CPC: cpc, KB: kb, LB: lb, Bus: bus,
-							BaseIdx: baseIdx[b], PointIdx: plan.Add(b, cfg),
+							BaseIdx: baseIdx[b], PointIdx: add(b, cfg),
+							Backend: rowBackend,
 						})
 					}
 				}

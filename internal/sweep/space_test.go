@@ -73,7 +73,10 @@ func TestSpaceBuild(t *testing.T) {
 	}
 }
 
-// TestCSVHeader pins the column schema both drivers emit.
+// TestCSVHeader pins the column schema both drivers emit — by default
+// exactly the historical one (the byte-identity guarantees rest on
+// it), and with a backend column inserted after the benchmark when a
+// backend was explicitly selected.
 func TestCSVHeader(t *testing.T) {
 	var sb strings.Builder
 	c := NewCSV(&sb, 8)
@@ -86,5 +89,70 @@ func TestCSVHeader(t *testing.T) {
 	want := "benchmark,cpc,size_kb,line_buffers,buses,time_ratio,worker_mpki,access_ratio,bus_avg_wait,area_ratio,energy_ratio\n"
 	if sb.String() != want {
 		t.Fatalf("header = %q, want %q", sb.String(), want)
+	}
+
+	sb.Reset()
+	c = NewCSV(&sb, 8)
+	c.IncludeBackendColumn()
+	if err := c.Header(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want = "benchmark,backend,cpc,size_kb,line_buffers,buses,time_ratio,worker_mpki,access_ratio,bus_avg_wait,area_ratio,energy_ratio\n"
+	if sb.String() != want {
+		t.Fatalf("backend header = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestSpaceBackendStampsPoints pins the backend plumbing: a Space with
+// a backend stamps every plan point (baseline included, so the
+// normalisation is backend-consistent) and every row, and the Flags
+// default leaves all of it empty.
+func TestSpaceBackendStampsPoints(t *testing.T) {
+	r := testRunner(t)
+	sp := Space{
+		Benches: []string{"FT"}, CPCs: []int{8}, SizesKB: []int{16},
+		LineBuffers: []int{4}, Buses: []int{2}, Backend: "analytical",
+	}
+	plan, rows := sp.Build(r)
+	for i, pt := range plan.Points() {
+		if pt.Backend != "analytical" {
+			t.Fatalf("point %d backend = %q, want analytical", i, pt.Backend)
+		}
+	}
+	for _, m := range rows {
+		if m.Backend != "analytical" {
+			t.Fatalf("row %+v lost the backend stamp", m)
+		}
+	}
+
+	// A default space leaves the points unstamped (the campaign rule
+	// applies) but labels rows with the backend that rule resolves to,
+	// so an enabled backend column never mislabels a row.
+	sp.Backend = ""
+	plan, rows = sp.Build(r)
+	for _, pt := range plan.Points() {
+		if pt.Backend != "" {
+			t.Fatal("default space stamped a backend")
+		}
+	}
+	if rows[0].Backend != "detailed" {
+		t.Fatalf("default row backend = %q, want the resolved campaign backend", rows[0].Backend)
+	}
+
+	ana, err := experiments.NewRunner(func() experiments.Options {
+		o := experiments.DefaultOptions()
+		o.Instructions = 20_000
+		o.Backend = "analytical"
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows = sp.Build(ana)
+	if rows[0].Backend != "analytical" {
+		t.Fatalf("row backend = %q, want the runner's campaign backend", rows[0].Backend)
 	}
 }

@@ -27,7 +27,10 @@
 //     parallel campaign engine (internal/experiments): design points
 //     are declared up front, deduplicated by a singleflight run cache,
 //     and fanned out across ExperimentOptions.Parallelism goroutines
-//     with context cancellation.
+//     with context cancellation. Each point dispatches to a pluggable
+//     SimulationBackend — the cycle-level "detailed" simulator or the
+//     "analytical" triage estimator — selected per campaign or per
+//     point.
 //   - RunStore (internal/runstore) persists results on disk as a
 //     second cache tier keyed by content hash; Shard partitions a
 //     CampaignPlan deterministically so sharded processes sharing one
@@ -127,8 +130,26 @@ func NewWorkload(p Profile, cfg WorkloadConfig) (*Workload, error) { return synt
 type Runner = experiments.Runner
 
 // DesignPoint is one (benchmark, configuration) simulation request in
-// a campaign plan.
+// a campaign plan; its Backend field may override the campaign's
+// simulation backend for that point alone.
 type DesignPoint = experiments.Point
+
+// SimulationBackend resolves design points to results: the cycle-level
+// "detailed" simulator (the default) or the Hill & Marty + cache-model
+// "analytical" estimator, selected per campaign via
+// ExperimentOptions.Backend or per point via DesignPoint.Backend.
+// Entries cached in a RunStore are keyed by backend, so the two can
+// never cross-pollute.
+type SimulationBackend = experiments.Backend
+
+// RegisterSimulationBackend adds a backend to the registry under its
+// selection name (it panics on duplicates).
+func RegisterSimulationBackend(name string, f experiments.BackendFactory) {
+	experiments.RegisterBackend(name, f)
+}
+
+// SimulationBackends lists the registered backend names, sorted.
+func SimulationBackends() []string { return experiments.BackendNames() }
 
 // CampaignPlan is an ordered batch of design points; RunAll fans it
 // out across ExperimentOptions.Parallelism goroutines and returns
