@@ -19,6 +19,15 @@
 // stops heartbeating and its points are re-leased to the survivors.
 // Restarting the coordinator over the same -store resumes the
 // campaign: points already in the store are complete.
+//
+// With -refine (and the selector flags shared with cmd/sweep), the
+// coordinator prepares the auto-refine campaign before serving: it
+// calibrates and triages locally — the analytical phase is the cheap
+// one — then serves the resulting mixed plan, so workers lease exactly
+// the expensive part: the frontier's detailed points. The merged CSV
+// carries the phase and backend columns and is byte-identical to a
+// single-process `sweep -refine` with the same flags. See
+// docs/REFINE.md.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 
 	"sharedicache/internal/campaignd"
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/sweep"
 )
@@ -43,6 +53,7 @@ func main() {
 	// (internal/sweep), so the two drivers cannot drift apart — which
 	// the byte-identical-CSV guarantee depends on.
 	sf := sweep.RegisterFlags(flag.CommandLine)
+	rf := refine.RegisterFlags(flag.CommandLine)
 	var (
 		addr     = flag.String("addr", ":8417", "listen address for the store and dispatch planes")
 		storeDir = flag.String("store", "", "run-store directory backing the store plane (required)")
@@ -91,7 +102,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	plan, rows := space.Build(runner)
+
+	// With -refine, the coordinator prepares the mixed campaign before
+	// serving: calibration and analytical triage run locally (they are
+	// the cheap phases, and the triage results land in the store, so
+	// the dispatch plane marks them done at startup); what workers
+	// lease is the frontier's detailed points. Without it, the plan is
+	// the plain design-space sweep.
+	var (
+		plan *experiments.Plan
+		rows []sweep.Row
+		ref  *refine.Result
+	)
+	if rf.Enabled() {
+		if sf.Backend != "" {
+			fatal(errors.New("-refine assigns backends per phase; drop -backend"))
+		}
+		sel, err := rf.Selector()
+		if err != nil {
+			fatal(err)
+		}
+		ref, err = refine.Prepare(ctx, refine.Config{
+			Space: space, Runner: runner, Store: store,
+			Selector: sel, GoldenMax: rf.Golden, Log: os.Stderr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		plan, rows = ref.Plan, ref.Rows
+	} else {
+		plan, rows = space.Build(runner)
+	}
 
 	srv, err := campaignd.New(campaignd.ServerConfig{
 		Runner: runner, Store: store, Points: plan.Points(),
@@ -106,7 +147,11 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
+	// Snapshot before serving: points already done (a warm store, or
+	// the refine prep's local phases) and writes already booked, so the
+	// completion accounting below describes only the served campaign.
 	pre := srv.Stats().Dispatch.Done
+	preWrites := srv.Stats().Store.Writes
 	batchDesc := fmt.Sprintf("batch %d", *batch)
 	if *batch == 0 {
 		batchDesc = "adaptive batch"
@@ -123,6 +168,13 @@ func main() {
 		// both drivers, preserving their byte-identity.
 		csvw.IncludeBackendColumn()
 	}
+	if ref != nil {
+		// Mirror cmd/sweep -refine: phase + backend columns, calibration
+		// applied to triage rows.
+		csvw.IncludePhaseColumn()
+		csvw.IncludeBackendColumn()
+		csvw.SetAdjust(ref.Adjust)
+	}
 	if err := csvw.Header(); err != nil {
 		fatal(err)
 	}
@@ -131,9 +183,15 @@ func main() {
 	}
 
 	st := srv.Stats()
+	writes := st.Store.Writes - preWrites
 	fmt.Fprintf(os.Stderr, "campaignd: campaign complete: points=%d writes=%d duplicates=%d expired_leases=%d\n",
-		st.Dispatch.Points, st.Store.Writes,
-		max64(0, st.Store.Writes-int64(st.Dispatch.Points-pre)), st.Dispatch.ExpiredLeases)
+		st.Dispatch.Points, writes,
+		max64(0, writes-int64(st.Dispatch.Points-pre)), st.Dispatch.ExpiredLeases)
+	if ref != nil {
+		by := runner.BackendRuns()
+		fmt.Fprintf(os.Stderr, "campaignd: refine: coordinator ran %d detailed simulations (calibration), %d analytical (triage); workers ran the frontier\n",
+			by["detailed"], by["analytical"])
+	}
 
 	// Let polling workers observe Done before the listener goes away.
 	select {

@@ -29,9 +29,18 @@
 // Hill & Marty + first-order-cache estimator: the same design space
 // resolves orders of magnitude faster at triage fidelity, the CSV
 // gains a backend column, and the run store keeps the two backends'
-// entries strictly apart. The recommended flow is triage-then-refine:
-// sweep the full space analytically, pick the frontier, re-sweep the
-// frontier with the detailed default.
+// entries strictly apart.
+//
+// -refine automates the triage-then-refine flow end to end (see
+// docs/REFINE.md): a calibration pass runs a small golden slice of the
+// space on both backends and fits per-metric corrections (persisted in
+// the -store and reused while valid), the full space then runs
+// analytically with the corrections applied, a frontier selector
+// (-refine-top K, -refine-pareto, -refine-band lo:hi) picks the points
+// worth full fidelity, and those re-run on the detailed backend — one
+// merged CSV, with phase and backend columns:
+//
+//	sweep -bench UA,FT -refine -refine-top 8 -store /tmp/rs > refined.csv
 //
 // With -remote URL the persistent tier is a campaignd coordinator's
 // store plane instead of a local directory — no shared filesystem
@@ -58,39 +67,78 @@ import (
 	"sharedicache/internal/campaignd"
 	"sharedicache/internal/core"
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/sweep"
 )
 
+// cliFlags is cmd/sweep's full flag set. It exists as a struct (and
+// registerFlags as a function) so the usage golden test can rebuild
+// the exact flag set main parses and pin its -h output.
+type cliFlags struct {
+	sf *sweep.Flags
+	rf *refine.Flags
+
+	par      *int
+	storeDir *string
+	remote   *string
+	worker   *bool
+	shard    *string
+	merge    *bool
+	storeop  *string
+}
+
+// registerFlags declares every cmd/sweep flag on fs. The design-space
+// and campaign flags are shared with cmd/campaignd (internal/sweep,
+// internal/refine), so the two drivers cannot drift apart.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		sf: sweep.RegisterFlags(fs),
+		rf: refine.RegisterFlags(fs),
+
+		par:      fs.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)"),
+		storeDir: fs.String("store", "", "persistent run-store directory (second cache tier)"),
+		remote:   fs.String("remote", "", "campaignd coordinator URL serving the run store (replaces -store)"),
+		worker:   fs.Bool("worker", false, "with -remote: lease and simulate the coordinator's campaign instead of this sweep"),
+		shard:    fs.String("shard", "", "simulate only shard i/N of the design space into -store; no CSV"),
+		merge:    fs.Bool("merge", false, "render the CSV from the store without simulating"),
+		storeop:  fs.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit"),
+	}
+}
+
 func main() {
-	// The design-space and campaign flags are shared with cmd/campaignd
-	// (internal/sweep), so the two drivers cannot drift apart.
-	sf := sweep.RegisterFlags(flag.CommandLine)
-	var (
-		par      = flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		storeDir = flag.String("store", "", "persistent run-store directory (second cache tier)")
-		remote   = flag.String("remote", "", "campaignd coordinator URL serving the run store (replaces -store)")
-		worker   = flag.Bool("worker", false, "with -remote: lease and simulate the coordinator's campaign instead of this sweep")
-		shardStr = flag.String("shard", "", "simulate only shard i/N of the design space into -store; no CSV")
-		merge    = flag.Bool("merge", false, "render the CSV from the store without simulating")
-		storeop  = flag.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit")
-	)
+	cf := registerFlags(flag.CommandLine)
 	flag.Parse()
+	sf := cf.sf
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *storeDir != "" && *remote != "" {
+	if *cf.storeDir != "" && *cf.remote != "" {
 		fatal(errors.New("-store and -remote are mutually exclusive"))
 	}
-	if *worker {
+	if cf.rf.Enabled() {
+		// Refine is a whole campaign shape of its own; the flags that
+		// reinterpret a plain sweep do not compose with it.
+		switch {
+		case sf.Backend != "":
+			fatal(errors.New("-refine assigns backends per phase; drop -backend"))
+		case *cf.remote != "" || *cf.worker:
+			fatal(errors.New("-refine runs locally (use campaignd -refine to lease the frontier to workers)"))
+		case *cf.shard != "" || *cf.merge:
+			fatal(errors.New("-refine plans its own mixed campaign; -shard/-merge do not apply"))
+		case *cf.storeop != "":
+			fatal(errors.New("-refine and -storeop are mutually exclusive"))
+		}
+	}
+	if *cf.worker {
 		// Worker mode: the campaign (benchmarks, axes, budgets) is the
 		// coordinator's; every design-space flag of this process is
 		// ignored so keys cannot disagree.
-		if *remote == "" {
+		if *cf.remote == "" {
 			fatal(errors.New("-worker requires -remote URL"))
 		}
-		w := campaignd.Worker{URL: *remote, Parallelism: *par, Log: os.Stderr}
+		w := campaignd.Worker{URL: *cf.remote, Parallelism: *cf.par, Log: os.Stderr}
 		rep, err := w.Run(ctx)
 		if err != nil {
 			fatal(err)
@@ -104,7 +152,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts.Parallelism = *par
+	opts.Parallelism = *cf.par
 	runner, err := experiments.NewRunner(opts)
 	if err != nil {
 		fatal(err)
@@ -118,29 +166,36 @@ func main() {
 		storeName string
 	)
 	switch {
-	case *storeDir != "":
-		if local, err = runstore.Open(*storeDir); err != nil {
+	case *cf.storeDir != "":
+		if local, err = runstore.Open(*cf.storeDir); err != nil {
 			fatal(err)
 		}
 		store, storeName = local, local.Dir()
 		runner.SetStore(local)
-	case *remote != "":
-		rs, err := campaignd.NewRemoteStore(ctx, *remote)
+	case *cf.remote != "":
+		rs, err := campaignd.NewRemoteStore(ctx, *cf.remote)
 		if err != nil {
 			fatal(err)
 		}
 		store, storeName = rs, rs.URL()
 		runner.SetStore(rs)
 	}
-	if *storeop != "" {
+	if *cf.storeop != "" {
 		if store == nil {
 			fatal(errors.New("-storeop requires -store or -remote"))
 		}
-		storeMaint(ctx, local, *remote, *storeop)
+		storeMaint(ctx, local, *cf.remote, *cf.storeop)
 		return
 	}
-	if *shardStr != "" && *merge {
+	if *cf.shard != "" && *cf.merge {
 		fatal(errors.New("-shard and -merge are mutually exclusive"))
+	}
+
+	// Auto-refine: calibrate, triage analytically, re-run the selected
+	// frontier on the detailed backend, one merged CSV.
+	if cf.rf.Enabled() {
+		runRefine(ctx, cf, runner, local)
+		return
 	}
 
 	// Declare the full design space up front: per benchmark one private
@@ -154,11 +209,11 @@ func main() {
 	// Shard mode: simulate this shard's slice of the plan into the
 	// shared store and exit — -merge renders the CSV once all shards
 	// are done.
-	if *shardStr != "" {
+	if *cf.shard != "" {
 		if store == nil {
 			fatal(errors.New("-shard requires -store or -remote (shards share work through it)"))
 		}
-		sh, err := experiments.ParseShard(*shardStr)
+		sh, err := experiments.ParseShard(*cf.shard)
 		if err != nil {
 			fatal(err)
 		}
@@ -189,7 +244,7 @@ func main() {
 	}
 	emit(csvw.Header())
 
-	if *merge {
+	if *cf.merge {
 		// Merge: resolve every point from the store, simulating nothing.
 		// With identical flags the row loop below is the one the
 		// unsharded sweep runs, so the merged CSV is byte-identical.
@@ -233,6 +288,55 @@ func main() {
 		by := runner.BackendRuns()
 		fmt.Fprintf(os.Stderr, "sweep: backend %s: %d simulated (detailed %d)\n",
 			sf.Backend, runner.Simulations(), by["detailed"])
+	}
+}
+
+// runRefine executes the two-phase auto-refine campaign locally and
+// emits the merged CSV (phase + backend columns, calibration applied
+// to triage rows).
+func runRefine(ctx context.Context, cf *cliFlags, runner *experiments.Runner, local *runstore.Store) {
+	sel, err := cf.rf.Selector()
+	if err != nil {
+		fatal(err)
+	}
+	space, err := cf.sf.Space()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := refine.Prepare(ctx, refine.Config{
+		Space:     space,
+		Runner:    runner,
+		Store:     local,
+		Selector:  sel,
+		GoldenMax: cf.rf.Golden,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	csvw := sweep.NewCSV(os.Stdout, cf.sf.Workers)
+	csvw.IncludePhaseColumn()
+	csvw.IncludeBackendColumn()
+	csvw.SetAdjust(res.Adjust)
+	if err := csvw.Header(); err != nil {
+		fatal(err)
+	}
+	ch, err := res.Plan.RunAllStream(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if err := csvw.EmitStream(ch, res.Rows, res.Plan.Len()); err != nil {
+		fatal(err)
+	}
+	// The accounting line CI pins: every detailed simulation of the
+	// whole campaign must be attributable to calibration or frontier.
+	by := runner.BackendRuns()
+	fmt.Fprintf(os.Stderr, "sweep: refine: %d detailed simulations (calibration %d + frontier %d), %d analytical\n",
+		by["detailed"], res.GoldenDetailedSims, by["detailed"]-res.GoldenDetailedSims, by["analytical"])
+	if local != nil {
+		st := local.Stats()
+		fmt.Fprintf(os.Stderr, "sweep: %d simulated, %d store hits, %d store writes\n",
+			runner.Simulations(), st.Hits, st.Writes)
 	}
 }
 

@@ -1,0 +1,50 @@
+package sharedicache_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links: [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks walks the README and every markdown file under docs/
+// and fails on dead relative links — the docs tree is allowed to
+// point at code and at itself, so a moved file must take its links
+// with it. External (scheme-qualified) and pure-fragment links are
+// out of scope, as are the generated paper-retrieval files at the
+// repo root.
+func TestDocsLinks(t *testing.T) {
+	var files []string
+	for _, glob := range []string{"README.md", "docs/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	if len(files) < 3 {
+		t.Fatalf("found only %d markdown files; the docs tree is missing", len(files))
+	}
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead relative link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}

@@ -47,9 +47,14 @@ func (b *analyticalBackend) Name() string { return "analytical" }
 // changes, so stale analytical entries die instead of lying.
 func (b *analyticalBackend) Fingerprint() string { return "analytical/v1" }
 
-// Model coefficients. These are first-order calibration constants, not
-// measured hardware parameters; they live here, named, so a future
-// calibration pass against the detailed backend has one place to turn.
+// Model coefficients. These are first-order constants, not measured
+// hardware parameters; they live here, named, so the calibration pass
+// against the detailed backend (internal/refine fits least-squares
+// corrections over the derived speedup/energy metrics) has one place
+// to turn. Changing ANY of them must bump Fingerprint: the version is
+// baked into every store key and into refine's fit fingerprint, so
+// the bump invalidates both cached results and persisted calibration
+// fits instead of letting them silently mis-apply.
 const (
 	anaTrips         = 4    // characterisation walks per footprint
 	anaChunkLines    = 4    // lockstep interleave granularity across sharers

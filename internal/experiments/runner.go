@@ -216,14 +216,19 @@ func (r *Runner) backend(name string) (Backend, error) {
 	return b, nil
 }
 
-// backendFingerprint resolves the store-key identity of a backend
-// name. An unregistered name falls back to the name itself so key
-// computation stays total (Plan.Shard and PointKey cannot fail) — but
-// such keys never match the ones a process that HAS the backend
-// writes, so they must stay local: distributed coordination refuses
-// plans with unresolvable backends outright (campaignd.New) rather
-// than let the divergence silently wedge a merge.
-func (r *Runner) backendFingerprint(name string) string {
+// BackendFingerprint resolves the store-key identity of a backend
+// name (e.g. "detailed/v1"). An unregistered name falls back to the
+// name itself so key computation stays total (Plan.Shard and PointKey
+// cannot fail) — but such keys never match the ones a process that
+// HAS the backend writes, so they must stay local: distributed
+// coordination refuses plans with unresolvable backends outright
+// (campaignd.New) rather than let the divergence silently wedge a
+// merge. It is the calibration hook for tooling layered above the
+// backends: the auto-refine pipeline (internal/refine) folds both
+// backends' fingerprints into its fit fingerprint, so a backend
+// revision invalidates persisted calibration fits exactly as it
+// invalidates store entries.
+func (r *Runner) BackendFingerprint(name string) string {
 	if b, err := r.backend(name); err == nil {
 		return b.Fingerprint()
 	}
@@ -298,7 +303,7 @@ func (r *Runner) fingerprint(backend string) runstore.Fingerprint {
 		Instructions:     r.opts.Instructions,
 		Seed:             r.opts.Seed,
 		CharInstructions: r.opts.charInstructions(),
-		Backend:          r.backendFingerprint(backend),
+		Backend:          r.BackendFingerprint(backend),
 	}
 }
 

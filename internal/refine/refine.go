@@ -1,0 +1,385 @@
+// Package refine closes the triage-then-refine loop the backend
+// registry opened: it turns one design-space sweep into an automated
+// two-phase campaign that spends cycle-level simulation only where the
+// cheap model says it matters.
+//
+// The pipeline (Prepare) runs over the existing Runner/Plan/store
+// machinery in two phases:
+//
+//  1. Calibration — a small "golden" slice of the design space runs on
+//     BOTH backends; per-metric least-squares corrections (Fit,
+//     detailed ≈ a·analytical + b over the speedup and energy ratios)
+//     are fitted with their residual error and persisted as a
+//     fingerprinted run-store artifact (FitArtifactKind). The
+//     fingerprint covers the golden point keys and both backends'
+//     versioned fingerprints, so a fit derived under other options,
+//     another backend revision or another golden space is a miss —
+//     never silently applied — while a matching one skips the golden
+//     detailed runs entirely on repeat campaigns.
+//
+//  2. Frontier selection — the full space runs analytically, the fit
+//     corrects each row's metrics, and a pluggable Selector (TopK,
+//     Pareto, Band) picks the frontier. Prepare then extends the
+//     triage plan into a mixed plan whose frontier points carry
+//     Point.Backend = "detailed", with row metadata labelling every
+//     CSV row's phase ("triage" or "refine").
+//
+// The caller — cmd/sweep's -refine mode, cmd/campaignd serving a
+// refine plan to remote workers, or examples/autorefine — executes the
+// returned plan like any other and emits one merged CSV through the
+// shared sweep emitter, with phase and backend columns and the
+// calibration applied to triage rows via Result.Adjust. Because the
+// analytical phase already ran inside Prepare, executing the mixed
+// plan re-simulates nothing analytical; only the frontier's detailed
+// points (plus their baselines, usually warm from the golden pass)
+// cost anything. docs/REFINE.md derives the math and walks an
+// end-to-end recipe.
+package refine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"sharedicache/internal/experiments"
+	"sharedicache/internal/runstore"
+	"sharedicache/internal/sweep"
+)
+
+// Backend names the pipeline pins. The triage phase always runs the
+// analytical backend and the refine phase always runs the detailed
+// one — that asymmetry IS the pipeline, so it is not configurable.
+const (
+	backendDetailed   = "detailed"
+	backendAnalytical = "analytical"
+)
+
+// Phase labels stamped on row metadata (and rendered in the CSV phase
+// column).
+const (
+	PhaseTriage = "triage"
+	PhaseRefine = "refine"
+)
+
+// DefaultGoldenMax is the default calibration budget: how many shared
+// design points the golden space samples from the full space.
+const DefaultGoldenMax = 8
+
+// Config assembles one auto-refine campaign.
+type Config struct {
+	// Space is the full design space to triage. Its Backend field must
+	// be empty: the pipeline owns backend assignment per phase.
+	Space sweep.Space
+	// Runner supplies the campaign options (fidelity, seed, prewarm,
+	// parallelism) and executes both phases. Attach a store to it
+	// before calling Prepare if results should persist.
+	Runner *experiments.Runner
+	// Store, when non-nil, persists the calibration fit between
+	// campaigns (it is typically the same on-disk store attached to
+	// Runner). Nil means recalibrate every run.
+	Store *runstore.Store
+	// Selector picks the frontier from the calibrated triage metrics.
+	Selector Selector
+	// GoldenMax bounds how many shared design points the calibration
+	// golden space samples (0 means DefaultGoldenMax). The golden pass
+	// additionally runs every benchmark's baseline on both backends.
+	GoldenMax int
+	// Log, when non-nil, receives the pipeline's accounting lines
+	// (calibration fit or reuse, triage size, frontier size).
+	Log io.Writer
+}
+
+// Result is a prepared auto-refine campaign: the mixed plan, the
+// phase-labelled row metadata for the merged CSV, and the calibration
+// to apply to triage rows. Execute Plan with RunAllStream (or serve
+// its Points through a campaign coordinator) and emit Rows through a
+// sweep.CSV with phase and backend columns and Adjust installed.
+type Result struct {
+	// Plan is the mixed campaign: the full space analytical, then the
+	// frontier detailed (with the detailed baselines they normalise
+	// against). The analytical points are already resolved — Prepare
+	// ran them — so executing the plan costs only the detailed points.
+	Plan *experiments.Plan
+	// Rows is the merged CSV metadata in emission order: every triage
+	// row (Phase "triage", analytical), then every frontier row (Phase
+	// "refine", detailed).
+	Rows []sweep.Row
+	// Calibration is the fit applied to triage metrics, and
+	// CalibrationReused reports whether it was loaded from the store
+	// (true: the golden pass ran zero simulations).
+	Calibration       Calibration
+	CalibrationReused bool
+	// GoldenRows is how many shared design points the golden space
+	// sampled; GoldenDetailedSims is how many detailed simulations the
+	// calibration pass actually executed (0 when reused or warm).
+	GoldenRows         int
+	GoldenDetailedSims int
+	// TriageRows and FrontierRows count the two phases' CSV rows.
+	TriageRows, FrontierRows int
+	// SelectorName records the selection rule, for accounting.
+	SelectorName string
+}
+
+// Adjust is the metric hook for the merged CSV: it applies the
+// calibration to triage-phase rows and leaves refine-phase (detailed)
+// rows untouched. Install it with sweep.CSV.SetAdjust.
+func (r *Result) Adjust(m sweep.Row, v *sweep.Metrics) {
+	if m.Phase == PhaseTriage {
+		r.Calibration.Apply(v)
+	}
+}
+
+// Prepare runs the calibration and triage phases and returns the
+// mixed campaign ready to execute. It simulates: the golden space on
+// both backends (skipped entirely when a fingerprint-matching fit is
+// stored), the full space analytically, and nothing else — the
+// frontier's detailed points are only planned, so the caller controls
+// where and when they run (locally, or leased to distributed
+// workers).
+func Prepare(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("refine: Config.Runner is required")
+	}
+	if cfg.Selector == nil {
+		return nil, errors.New("refine: Config.Selector is required")
+	}
+	if cfg.Space.Backend != "" {
+		return nil, fmt.Errorf("refine: Space.Backend %q conflicts with the pipeline's per-phase backend assignment; leave it empty", cfg.Space.Backend)
+	}
+	log := cfg.Log
+	if log == nil {
+		log = io.Discard
+	}
+	goldenMax := cfg.GoldenMax
+	if goldenMax == 0 {
+		goldenMax = DefaultGoldenMax
+	}
+	if goldenMax < 0 {
+		return nil, fmt.Errorf("refine: GoldenMax = %d must be >= 0", cfg.GoldenMax)
+	}
+	r := cfg.Runner
+	workers := r.Options().Workers
+
+	// The triage plan covers the full space analytically; its rows are
+	// the merged CSV's triage prefix.
+	spaceA := cfg.Space
+	spaceA.Backend = backendAnalytical
+	plan, rows := spaceA.Build(r)
+	if len(rows) == 0 {
+		return nil, errors.New("refine: the design space expands to zero rows")
+	}
+	for i := range rows {
+		rows[i].Phase = PhaseTriage
+	}
+
+	// --- phase 1: calibration -----------------------------------------
+	golden := goldenSample(len(rows), goldenMax)
+	gplan, grefs := goldenPlan(r, cfg.Space.Benches, rows, golden)
+	fp := FitFingerprint(r, gplan.Points())
+
+	out := &Result{
+		GoldenRows:   len(golden),
+		TriageRows:   len(rows),
+		SelectorName: cfg.Selector.Name(),
+	}
+	detBefore := r.BackendRuns()[backendDetailed]
+	if cal, ok := LoadFit(cfg.Store, fp); ok {
+		out.Calibration, out.CalibrationReused = cal, true
+		fmt.Fprintf(log, "refine: calibration reused stored fit (fingerprint %.12s, 0 golden simulations)\n", fp)
+	} else {
+		// Note staleness before SaveFit replaces the artifact slot.
+		if stale, ok := staleFingerprint(cfg.Store, fp); ok {
+			fmt.Fprintf(log, "refine: stored fit is stale (fingerprint %.12s, want %.12s), recalibrating\n", stale, fp)
+		}
+		cal, err := calibrate(ctx, r, gplan, grefs, rows, fp)
+		if err != nil {
+			return nil, err
+		}
+		if err := SaveFit(cfg.Store, cal); err != nil {
+			return nil, err
+		}
+		out.Calibration = cal
+		out.GoldenDetailedSims = r.BackendRuns()[backendDetailed] - detBefore
+		fmt.Fprintf(log, "refine: calibration fitted over %d golden rows (%d detailed simulations): time_ratio a=%+.4f b=%+.4f rmse=%.4f, energy_ratio a=%+.4f b=%+.4f rmse=%.4f\n",
+			len(golden), out.GoldenDetailedSims,
+			cal.TimeRatio.A, cal.TimeRatio.B, cal.TimeRatio.RMSE,
+			cal.EnergyRatio.A, cal.EnergyRatio.B, cal.EnergyRatio.RMSE)
+	}
+
+	// --- phase 2: triage + frontier selection -------------------------
+	results, err := plan.RunAll(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("refine: triage pass: %w", err)
+	}
+	eval := sweep.NewEvaluator(workers)
+	cands := make([]Candidate, len(rows))
+	for i, row := range rows {
+		m, err := eval.Metrics(row, results[row.BaseIdx], results[row.PointIdx])
+		if err != nil {
+			return nil, fmt.Errorf("refine: triage metrics for %s cpc=%d: %w", row.Bench, row.CPC, err)
+		}
+		out.Calibration.Apply(&m)
+		cands[i] = Candidate{Row: row, Metrics: m}
+	}
+	frontier, err := cfg.Selector.Select(cands)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateFrontier(frontier, len(cands)); err != nil {
+		return nil, err
+	}
+	// Frontier rows are appended in design-space order regardless of
+	// the selector's ranking, keeping the refine block's row order —
+	// and hence the CSV bytes — a pure function of the selected set.
+	sort.Ints(frontier)
+
+	// --- the mixed plan: frontier re-planned detailed -----------------
+	// The frontier rows are appended to the SAME plan the triage ran
+	// on, so executing it re-delivers the analytical results from the
+	// runner's cache and only the detailed points simulate.
+	baseDet := map[string]int{}
+	for _, fi := range frontier {
+		row := rows[fi]
+		bi, ok := baseDet[row.Bench]
+		if !ok {
+			bi = plan.AddPoint(experiments.Point{
+				Bench: row.Bench, Cfg: sweep.BaseConfig(workers), Backend: backendDetailed,
+			})
+			baseDet[row.Bench] = bi
+		}
+		pi := plan.AddPoint(experiments.Point{
+			Bench:   row.Bench,
+			Cfg:     sweep.PointConfig(workers, row.CPC, row.KB, row.LB, row.Bus),
+			Backend: backendDetailed,
+		})
+		rows = append(rows, sweep.Row{
+			Bench: row.Bench, CPC: row.CPC, KB: row.KB, LB: row.LB, Bus: row.Bus,
+			BaseIdx: bi, PointIdx: pi,
+			Backend: backendDetailed, Phase: PhaseRefine,
+		})
+	}
+	out.Plan, out.Rows, out.FrontierRows = plan, rows, len(frontier)
+	fmt.Fprintf(log, "refine: triage %d rows analytical, frontier %d rows re-planned detailed (selector %s)\n",
+		out.TriageRows, out.FrontierRows, out.SelectorName)
+	return out, nil
+}
+
+// goldenSample picks up to max row indexes spread evenly (by stride)
+// across the n triage rows — first and last always included — so the
+// fit sees the full range of every swept axis rather than one corner.
+func goldenSample(n, max int) []int {
+	if max >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if max <= 1 {
+		return []int{0}
+	}
+	out := make([]int, 0, max)
+	last := -1
+	for i := 0; i < max; i++ {
+		idx := i * (n - 1) / (max - 1)
+		if idx != last {
+			out = append(out, idx)
+			last = idx
+		}
+	}
+	return out
+}
+
+// goldenRef ties one golden row to its four golden-plan points.
+type goldenRef struct {
+	rowIdx                         int
+	detBase, anaBase, detPt, anaPt int
+}
+
+// goldenPlan declares the calibration campaign: every benchmark's
+// baseline on both backends, then each sampled row's design point on
+// both backends. Its point list (in this order) is what the fit
+// fingerprint hashes.
+func goldenPlan(r *experiments.Runner, benches []string, rows []sweep.Row, golden []int) (*experiments.Plan, []goldenRef) {
+	workers := r.Options().Workers
+	plan := r.Plan()
+	baseD, baseA := map[string]int{}, map[string]int{}
+	for _, b := range benches {
+		baseD[b] = plan.AddPoint(experiments.Point{Bench: b, Cfg: sweep.BaseConfig(workers), Backend: backendDetailed})
+		baseA[b] = plan.AddPoint(experiments.Point{Bench: b, Cfg: sweep.BaseConfig(workers), Backend: backendAnalytical})
+	}
+	refs := make([]goldenRef, 0, len(golden))
+	for _, ri := range golden {
+		row := rows[ri]
+		cfg := sweep.PointConfig(workers, row.CPC, row.KB, row.LB, row.Bus)
+		ref := goldenRef{rowIdx: ri, detBase: baseD[row.Bench], anaBase: baseA[row.Bench]}
+		ref.detPt = plan.AddPoint(experiments.Point{Bench: row.Bench, Cfg: cfg, Backend: backendDetailed})
+		ref.anaPt = plan.AddPoint(experiments.Point{Bench: row.Bench, Cfg: cfg, Backend: backendAnalytical})
+		refs = append(refs, ref)
+	}
+	return plan, refs
+}
+
+// calibrate executes the golden plan and fits the per-metric
+// corrections from analytical estimates to detailed ground truth.
+func calibrate(ctx context.Context, r *experiments.Runner, gplan *experiments.Plan, grefs []goldenRef, rows []sweep.Row, fingerprint string) (Calibration, error) {
+	results, err := gplan.RunAll(ctx)
+	if err != nil {
+		return Calibration{}, fmt.Errorf("refine: calibration pass: %w", err)
+	}
+	eval := sweep.NewEvaluator(r.Options().Workers)
+	var xsT, ysT, xsE, ysE []float64
+	for _, g := range grefs {
+		row := rows[g.rowIdx]
+		detRow, anaRow := row, row
+		detRow.BaseIdx, detRow.PointIdx = g.detBase, g.detPt
+		anaRow.BaseIdx, anaRow.PointIdx = g.anaBase, g.anaPt
+		dm, err := eval.Metrics(detRow, results[g.detBase], results[g.detPt])
+		if err != nil {
+			return Calibration{}, fmt.Errorf("refine: golden detailed metrics for %s cpc=%d: %w", row.Bench, row.CPC, err)
+		}
+		am, err := eval.Metrics(anaRow, results[g.anaBase], results[g.anaPt])
+		if err != nil {
+			return Calibration{}, fmt.Errorf("refine: golden analytical metrics for %s cpc=%d: %w", row.Bench, row.CPC, err)
+		}
+		xsT, ysT = append(xsT, am.TimeRatio), append(ysT, dm.TimeRatio)
+		xsE, ysE = append(xsE, am.EnergyRatio), append(ysE, dm.EnergyRatio)
+	}
+	return Calibration{
+		Fingerprint: fingerprint,
+		TimeRatio:   FitOLS(xsT, ysT),
+		EnergyRatio: FitOLS(xsE, ysE),
+	}, nil
+}
+
+// staleFingerprint reports the fingerprint of a stored fit that did
+// NOT match the wanted one, for the accounting line explaining a
+// recalibration.
+func staleFingerprint(st *runstore.Store, want string) (string, bool) {
+	if st == nil {
+		return "", false
+	}
+	fp, ok := st.ArtifactFingerprint(FitArtifactKind)
+	if !ok || fp == want {
+		return "", false
+	}
+	return fp, true
+}
+
+// validateFrontier rejects selector output that is not a set of valid
+// candidate indexes.
+func validateFrontier(frontier []int, n int) error {
+	seen := make(map[int]bool, len(frontier))
+	for _, fi := range frontier {
+		if fi < 0 || fi >= n {
+			return fmt.Errorf("refine: selector returned index %d outside the %d candidates", fi, n)
+		}
+		if seen[fi] {
+			return fmt.Errorf("refine: selector returned index %d twice", fi)
+		}
+		seen[fi] = true
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package refine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sharedicache/internal/sweep"
+)
+
+// Candidate is one triage row with its calibrated metrics, as handed
+// to a Selector. The slice a Selector sees is in design-space (CSV
+// row) order.
+type Candidate struct {
+	Row     sweep.Row
+	Metrics sweep.Metrics
+}
+
+// Selector picks the frontier — the triage rows worth re-running on
+// the detailed backend — from the calibrated triage results. Select
+// returns candidate indexes; implementations must be deterministic
+// (ties broken by row order), because the refine plan, and hence the
+// campaign CSV, is built from the selection. Every built-in metric is
+// better when smaller (time_ratio < 1 is a speedup, energy_ratio < 1
+// a saving), so selectors minimise.
+type Selector interface {
+	// Name is the human-readable selection rule, for accounting lines.
+	Name() string
+	// Select returns the chosen candidate indexes, in any order;
+	// duplicates and out-of-range indexes are a bug surfaced by
+	// Prepare.
+	Select(cands []Candidate) ([]int, error)
+}
+
+// MetricValue resolves a selection metric by its CSV column name:
+// time_ratio, worker_mpki, access_ratio, bus_avg_wait, area_ratio or
+// energy_ratio.
+func MetricValue(m sweep.Metrics, name string) (float64, error) {
+	switch name {
+	case "time_ratio":
+		return m.TimeRatio, nil
+	case "worker_mpki":
+		return m.WorkerMPKI, nil
+	case "access_ratio":
+		return m.AccessRatio, nil
+	case "bus_avg_wait":
+		return m.BusAvgWait, nil
+	case "area_ratio":
+		return m.AreaRatio, nil
+	case "energy_ratio":
+		return m.EnergyRatio, nil
+	}
+	return 0, fmt.Errorf("refine: unknown metric %q (want time_ratio, worker_mpki, access_ratio, bus_avg_wait, area_ratio or energy_ratio)", name)
+}
+
+// TopK selects the K candidates with the smallest value of Metric
+// (default time_ratio), ties broken by row order. K larger than the
+// candidate set selects everything.
+type TopK struct {
+	K int
+	// Metric is the CSV column name ranked by; empty means time_ratio.
+	Metric string
+}
+
+func (s TopK) metric() string {
+	if s.Metric == "" {
+		return "time_ratio"
+	}
+	return s.Metric
+}
+
+// Name implements Selector.
+func (s TopK) Name() string { return fmt.Sprintf("top-%d(%s)", s.K, s.metric()) }
+
+// Select implements Selector.
+func (s TopK) Select(cands []Candidate) ([]int, error) {
+	if s.K < 0 {
+		return nil, fmt.Errorf("refine: top-K selector with K = %d", s.K)
+	}
+	vals := make([]float64, len(cands))
+	for i, c := range cands {
+		v, err := MetricValue(c.Metrics, s.metric())
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+	if len(order) > s.K {
+		order = order[:s.K]
+	}
+	sort.Ints(order)
+	return order, nil
+}
+
+// Pareto selects the Pareto frontier over (time_ratio, energy_ratio):
+// every candidate no other candidate beats on both axes at once. It
+// is the default selector — the paper's trade-off is exactly
+// performance against energy, and the frontier needs no tuning knob.
+type Pareto struct{}
+
+// Name implements Selector.
+func (Pareto) Name() string { return "pareto(time_ratio,energy_ratio)" }
+
+// Select implements Selector. A point is dominated when another point
+// is no worse on both axes and strictly better on one; exact
+// duplicates do not dominate each other, so tied points all survive
+// (determinism over minimality). The scan is O(n log n) — sort by
+// (time, energy), then a candidate survives iff its energy is
+// strictly below the minimum of every strictly-earlier (time, energy)
+// group — because triage spaces are the million-point kind the
+// analytical backend exists for.
+func (Pareto) Select(cands []Candidate) ([]int, error) {
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := cands[order[a]].Metrics, cands[order[b]].Metrics
+		if ca.TimeRatio != cb.TimeRatio {
+			return ca.TimeRatio < cb.TimeRatio
+		}
+		if ca.EnergyRatio != cb.EnergyRatio {
+			return ca.EnergyRatio < cb.EnergyRatio
+		}
+		return order[a] < order[b]
+	})
+	var out []int
+	minEnergy := math.Inf(1)
+	for g := 0; g < len(order); {
+		// One group of exact (time, energy) duplicates at a time: they
+		// survive or fall together, judged only against earlier groups.
+		m := cands[order[g]].Metrics
+		end := g
+		for end < len(order) &&
+			cands[order[end]].Metrics.TimeRatio == m.TimeRatio &&
+			cands[order[end]].Metrics.EnergyRatio == m.EnergyRatio {
+			end++
+		}
+		if m.EnergyRatio < minEnergy {
+			out = append(out, order[g:end]...)
+			minEnergy = m.EnergyRatio
+		}
+		g = end
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Band selects every candidate whose Metric (default time_ratio) falls
+// inside [Lo, Hi] — the threshold-band rule for "re-simulate
+// everything near the break-even line in detail".
+type Band struct {
+	// Metric is the CSV column name tested; empty means time_ratio.
+	Metric string
+	Lo, Hi float64
+}
+
+func (s Band) metric() string {
+	if s.Metric == "" {
+		return "time_ratio"
+	}
+	return s.Metric
+}
+
+// Name implements Selector.
+func (s Band) Name() string {
+	return fmt.Sprintf("band(%s in [%g,%g])", s.metric(), s.Lo, s.Hi)
+}
+
+// Select implements Selector.
+func (s Band) Select(cands []Candidate) ([]int, error) {
+	if s.Lo > s.Hi {
+		return nil, fmt.Errorf("refine: band selector with lo %g > hi %g", s.Lo, s.Hi)
+	}
+	var out []int
+	for i, c := range cands {
+		v, err := MetricValue(c.Metrics, s.metric())
+		if err != nil {
+			return nil, err
+		}
+		if v >= s.Lo && v <= s.Hi {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package refine
+
+import (
+	"reflect"
+	"testing"
+
+	"sharedicache/internal/sweep"
+)
+
+func cand(time, energy float64) Candidate {
+	return Candidate{Metrics: sweep.Metrics{TimeRatio: time, EnergyRatio: energy}}
+}
+
+func TestTopKSelectsSmallestInRowOrder(t *testing.T) {
+	cands := []Candidate{cand(1.2, 1), cand(0.9, 1), cand(1.0, 1), cand(0.9, 1)}
+	got, err := TopK{K: 2}.Select(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both 0.9s tie; stable order keeps the earlier row, and the
+	// output is ascending.
+	if want := []int{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+}
+
+func TestTopKOverAsk(t *testing.T) {
+	got, err := TopK{K: 10}.Select([]Candidate{cand(2, 1), cand(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK = %v, want everything", got)
+	}
+}
+
+func TestTopKCustomMetricAndErrors(t *testing.T) {
+	cands := []Candidate{
+		{Metrics: sweep.Metrics{EnergyRatio: 0.5}},
+		{Metrics: sweep.Metrics{EnergyRatio: 0.4}},
+	}
+	got, err := TopK{K: 1, Metric: "energy_ratio"}.Select(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopK energy = %v, want %v", got, want)
+	}
+	if _, err := (TopK{K: 1, Metric: "nope"}).Select(cands); err == nil {
+		t.Fatal("unknown metric must error")
+	}
+	if _, err := (TopK{K: -1}).Select(cands); err == nil {
+		t.Fatal("negative K must error")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	cands := []Candidate{
+		cand(1.0, 0.5), // frontier: best energy
+		cand(0.8, 0.8), // frontier: trade-off
+		cand(0.9, 0.9), // dominated by (0.8, 0.8)
+		cand(0.7, 1.2), // frontier: best time
+		cand(1.1, 1.3), // dominated by everything
+	}
+	got, err := Pareto{}.Select(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Pareto = %v, want %v", got, want)
+	}
+}
+
+func TestParetoEqualTimeGroups(t *testing.T) {
+	// Equal time, different energy: the lower energy strictly
+	// dominates the higher one.
+	got, err := Pareto{}.Select([]Candidate{cand(1, 0.9), cand(1, 0.8), cand(0.9, 1.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Pareto = %v, want %v", got, want)
+	}
+}
+
+func TestParetoKeepsExactTies(t *testing.T) {
+	got, err := Pareto{}.Select([]Candidate{cand(1, 1), cand(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Pareto ties = %v, want both kept", got)
+	}
+}
+
+func TestBandSelectsInclusiveRange(t *testing.T) {
+	cands := []Candidate{cand(0.85, 1), cand(0.9, 1), cand(1.0, 1), cand(1.05, 1)}
+	got, err := Band{Lo: 0.9, Hi: 1.0}.Select(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Band = %v, want %v", got, want)
+	}
+	if _, err := (Band{Lo: 2, Hi: 1}).Select(cands); err == nil {
+		t.Fatal("inverted band must error")
+	}
+}
+
+func TestFlagsSelectorResolution(t *testing.T) {
+	for _, tc := range []struct {
+		f    Flags
+		want string
+		err  bool
+	}{
+		{f: Flags{Enable: true, Metric: "time_ratio", Golden: 8}, want: "pareto(time_ratio,energy_ratio)"},
+		{f: Flags{TopK: 4, Metric: "time_ratio", Golden: 8}, want: "top-4(time_ratio)"},
+		{f: Flags{Band: "0.9:1.0", Metric: "time_ratio", Golden: 8}, want: "band(time_ratio in [0.9,1])"},
+		{f: Flags{TopK: 4, Pareto: true, Metric: "time_ratio", Golden: 8}, err: true},
+		{f: Flags{TopK: -4, Metric: "time_ratio", Golden: 8}, err: true},
+		{f: Flags{Band: "1.0:0.9", Metric: "time_ratio", Golden: 8}, err: true},
+		{f: Flags{Band: "x:1", Metric: "time_ratio", Golden: 8}, err: true},
+		{f: Flags{TopK: 4, Metric: "bogus", Golden: 8}, err: true},
+		// An explicit -refine-golden 0 is refused, not silently promoted
+		// to the default (it would run the calibration the user thought
+		// they disabled).
+		{f: Flags{Enable: true, Metric: "time_ratio", Golden: 0}, err: true},
+	} {
+		sel, err := tc.f.Selector()
+		if tc.err {
+			if err == nil {
+				t.Errorf("Flags %+v: want error", tc.f)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Flags %+v: %v", tc.f, err)
+			continue
+		}
+		if sel.Name() != tc.want {
+			t.Errorf("Flags %+v -> %q, want %q", tc.f, sel.Name(), tc.want)
+		}
+	}
+}

@@ -65,12 +65,16 @@ func (s *Store) Index() ([]IndexEntry, error) {
 // Put fail. One left by a crashed writer only gets older.
 const tmpGrace = time.Hour
 
-// GC removes everything Get would refuse to trust — unparsable
+// GC removes everything a read would refuse to trust — unparsable
 // entries, entries of another format version, entries whose content
-// does not match their filename — plus orphaned temp files left behind
-// by crashed writers. Temp files younger than tmpGrace are spared:
-// they may be in-flight writes, and removing one would fail a live
-// Put's rename. It returns how many files were removed.
+// does not match their filename, artifact files that no longer decode
+// — plus orphaned temp files left behind by crashed writers. Temp
+// files younger than tmpGrace are spared: they may be in-flight
+// writes, and removing one would fail a live Put's rename. Valid
+// artifacts are never swept, even when their fingerprint no longer
+// matches any live campaign: staleness is the reader's call (it has
+// the fingerprint; GC does not). It returns how many files were
+// removed.
 func (s *Store) GC() (removed int, err error) {
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -93,6 +97,13 @@ func (s *Store) GC() (removed int, err error) {
 			}
 		case strings.HasSuffix(name, entrySuffix):
 			if _, _, ok := s.readEntry(path, strings.TrimSuffix(name, entrySuffix)); !ok {
+				if os.Remove(path) == nil {
+					removed++
+				}
+			}
+		case strings.HasSuffix(name, artifactSuffix):
+			kind := strings.TrimSuffix(name, artifactSuffix)
+			if _, ok := s.readArtifact(kind); !ok {
 				if os.Remove(path) == nil {
 					removed++
 				}

@@ -18,6 +18,12 @@
 // corruption-tolerant: a truncated, garbled, stale-version or
 // mislabelled entry is treated as a cache miss, never as an error; GC
 // exists to sweep such debris.
+//
+// Besides run entries the store holds artifacts (PutArtifact /
+// GetArtifact): small named blobs derived from results — such as the
+// auto-refine calibration fit — guarded by a caller-supplied
+// fingerprint instead of a content address, with the same atomic
+// writes and corruption-as-miss reads.
 package runstore
 
 import (

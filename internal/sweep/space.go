@@ -4,6 +4,20 @@
 // the same bytes, so a campaign merged from remote workers is
 // byte-identical to a single-process sweep by construction rather than
 // by convention.
+//
+// The package splits the campaign into three composable pieces:
+//
+//   - Space expands the swept axes into an ordered plan plus Row
+//     metadata tying each CSV row to its plan indexes (Build);
+//   - Evaluator derives each row's Metrics (normalised time, MPKI,
+//     area/energy ratios) from raw simulation results;
+//   - CSV renders rows — batch (Row/WriteRow) or streaming
+//     (EmitStream), with optional backend and phase columns and a
+//     metric-adjust hook the auto-refine pipeline (internal/refine)
+//     uses to apply its calibration fit.
+//
+// Flags (RegisterFlags) keeps the two drivers' design-space flag sets
+// identical, and Maint is their shared -storeop maintenance path.
 package sweep
 
 import (
@@ -30,12 +44,15 @@ type Space struct {
 // Row ties one CSV output row to its plan indexes: the shared design
 // point it reports and the private baseline it is normalised against.
 // Backend records which simulation backend produced the row, for the
-// optional backend CSV column.
+// optional backend CSV column; Phase labels which campaign phase it
+// belongs to ("triage", "refine") for the optional phase column of
+// auto-refine output, and is empty for plain sweeps.
 type Row struct {
 	Bench             string
 	CPC, KB, LB, Bus  int
 	BaseIdx, PointIdx int
 	Backend           string
+	Phase             string
 }
 
 // Build declares the full campaign on r in CSV emission order — per
@@ -65,13 +82,7 @@ func (sp Space) Build(r *experiments.Runner) (*experiments.Plan, []Row) {
 			for _, kb := range sp.SizesKB {
 				for _, lb := range sp.LineBuffers {
 					for _, bus := range sp.Buses {
-						cfg := core.DefaultConfig()
-						cfg.Workers = workers
-						cfg.Organization = core.OrgWorkerShared
-						cfg.CPC = cpc
-						cfg.ICache.SizeBytes = kb << 10
-						cfg.LineBuffers = lb
-						cfg.Buses = bus
+						cfg := PointConfig(workers, cpc, kb, lb, bus)
 						if err := cfg.Validate(); err != nil {
 							continue
 						}
@@ -93,5 +104,20 @@ func (sp Space) Build(r *experiments.Runner) (*experiments.Plan, []Row) {
 func BaseConfig(workers int) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Workers = workers
+	return cfg
+}
+
+// PointConfig is the worker-shared configuration one Row's axes
+// describe — the single place the axes-to-Config mapping lives, so
+// tooling that rebuilds a row's design point from its CSV coordinates
+// (the auto-refine frontier re-plan) cannot drift from Build.
+func PointConfig(workers, cpc, kb, lb, bus int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Organization = core.OrgWorkerShared
+	cfg.CPC = cpc
+	cfg.ICache.SizeBytes = kb << 10
+	cfg.LineBuffers = lb
+	cfg.Buses = bus
 	return cfg
 }

@@ -42,6 +42,13 @@
 //     owns the plan and the store, workers lease design points under
 //     TTL leases (crashed workers' points are stolen by survivors),
 //     and merged results stream back in plan order.
+//   - DesignSpace / SweepCSV (internal/sweep) expand the swept axes
+//     into a plan and render the campaign CSV, and PrepareRefine
+//     (internal/refine) runs the automated triage-then-refine
+//     pipeline: calibrate the analytical backend against detailed
+//     ground truth on a golden slice, triage the full space
+//     analytically, and re-plan the frontier a FrontierSelector picks
+//     onto the detailed backend (see docs/REFINE.md).
 //   - Tech / Cluster wrap the McPAT/CACTI-style area & energy model
 //     (internal/power).
 //   - CMPDesign wraps the Hill-Marty speedup model (internal/amdahl).
@@ -49,6 +56,7 @@ package sharedicache
 
 import (
 	"context"
+	"io"
 
 	"sharedicache/internal/amdahl"
 	"sharedicache/internal/campaignd"
@@ -56,7 +64,9 @@ import (
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/interconnect"
 	"sharedicache/internal/power"
+	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/sweep"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
 )
@@ -217,6 +227,71 @@ func OpenRemoteRunStore(ctx context.Context, baseURL string) (*RemoteRunStore, e
 // CampaignWorker leases design points from a CampaignServer, simulates
 // them, and publishes the results back through the store plane.
 type CampaignWorker = campaignd.Worker
+
+// DesignSpace enumerates the swept design-space axes shared by
+// cmd/sweep and cmd/campaignd; Build declares it on a Runner as a
+// CampaignPlan plus the CSV row metadata.
+type DesignSpace = sweep.Space
+
+// SweepRow ties one sweep CSV row to its plan indexes, and — for
+// auto-refine campaigns — carries its backend and phase labels.
+type SweepRow = sweep.Row
+
+// SweepMetrics are one sweep row's derived values: normalised
+// execution time, worker MPKI, access ratio, bus wait, and the power
+// model's area/energy ratios.
+type SweepMetrics = sweep.Metrics
+
+// SweepCSV renders sweep rows to CSV, batch or streaming, with
+// optional backend/phase columns and a metric-adjust hook.
+type SweepCSV = sweep.CSV
+
+// NewSweepCSV builds a sweep CSV emitter for the given worker count.
+func NewSweepCSV(out io.Writer, workers int) *SweepCSV { return sweep.NewCSV(out, workers) }
+
+// RefineConfig assembles an automated triage-then-refine campaign:
+// the full design space, the runner (and optionally the store the
+// calibration fit persists in), and the frontier selector.
+type RefineConfig = refine.Config
+
+// RefineResult is a prepared auto-refine campaign: the mixed plan
+// (analytical triage + detailed frontier), phase-labelled CSV rows,
+// and the calibration fit to apply to triage rows.
+type RefineResult = refine.Result
+
+// PrepareRefine runs the calibration and analytical-triage phases and
+// returns the mixed campaign, ready to execute locally or to serve
+// through a CampaignServer. See docs/REFINE.md for the workflow.
+func PrepareRefine(ctx context.Context, cfg RefineConfig) (*RefineResult, error) {
+	return refine.Prepare(ctx, cfg)
+}
+
+// FrontierSelector picks the triage rows worth re-running on the
+// detailed backend; TopKSelector, ParetoSelector and BandSelector are
+// the built-in rules.
+type FrontierSelector = refine.Selector
+
+// FrontierCandidate is one triage row with its calibrated metrics, as
+// handed to a FrontierSelector.
+type FrontierCandidate = refine.Candidate
+
+// TopKSelector selects the K best rows by one metric.
+type TopKSelector = refine.TopK
+
+// ParetoSelector selects the Pareto frontier over time and energy.
+type ParetoSelector = refine.Pareto
+
+// BandSelector selects rows whose metric falls inside [Lo, Hi].
+type BandSelector = refine.Band
+
+// CalibrationFit is the persisted per-metric correction mapping
+// analytical estimates onto detailed ground truth, with its
+// invalidation fingerprint.
+type CalibrationFit = refine.Calibration
+
+// MetricFit is one metric's least-squares correction (y = A·x + B)
+// with its residual error.
+type MetricFit = refine.Fit
 
 // DefaultExperimentOptions returns the defaults used by
 // cmd/experiments.
