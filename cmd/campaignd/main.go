@@ -28,6 +28,12 @@
 // carries the phase and backend columns and is byte-identical to a
 // single-process `sweep -refine` with the same flags. See
 // docs/REFINE.md.
+//
+// While serving, the coordinator exposes its status at /v1/statsz
+// (JSON, or an HTML page for browsers) and the same counters in
+// Prometheus text form at GET /metrics — store traffic, queue depth,
+// lease health and per-backend campaign progress; see the metrics
+// reference in docs/ARCHITECTURE.md.
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 
 	"sharedicache/internal/campaignd"
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/metrics"
 	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/sweep"
@@ -97,6 +104,11 @@ func main() {
 		fatal(err)
 	}
 	runner.SetStore(store)
+	// One registry for the whole process, created before any refine prep
+	// so the calibration and triage simulations are on it too; the server
+	// serves it at GET /metrics next to /v1/statsz.
+	reg := metrics.NewRegistry()
+	runner.SetMetrics(reg)
 
 	space, err := sf.Space()
 	if err != nil {
@@ -136,7 +148,7 @@ func main() {
 
 	srv, err := campaignd.New(campaignd.ServerConfig{
 		Runner: runner, Store: store, Points: plan.Points(),
-		TTL: *ttl, Batch: *batch,
+		TTL: *ttl, Batch: *batch, Metrics: reg,
 	})
 	if err != nil {
 		fatal(err)

@@ -61,12 +61,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"sharedicache/internal/campaignd"
 	"sharedicache/internal/core"
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/metrics"
 	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/sweep"
@@ -86,6 +89,7 @@ type cliFlags struct {
 	shard    *string
 	merge    *bool
 	storeop  *string
+	metrics  *string
 }
 
 // registerFlags declares every cmd/sweep flag on fs. The design-space
@@ -103,6 +107,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		shard:    fs.String("shard", "", "simulate only shard i/N of the design space into -store; no CSV"),
 		merge:    fs.Bool("merge", false, "render the CSV from the store without simulating"),
 		storeop:  fs.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit"),
+		metrics:  fs.String("metrics", "", "serve Prometheus text metrics at this address (GET /metrics) for the run's duration"),
 	}
 }
 
@@ -131,6 +136,21 @@ func main() {
 			fatal(errors.New("-refine and -storeop are mutually exclusive"))
 		}
 	}
+	// One registry covers the whole process — the runner's cache tiers,
+	// the local store if any, and worker-mode lease counters all land on
+	// it; -metrics serves it for scraping while the run lasts.
+	reg := metrics.NewRegistry()
+	if *cf.metrics != "" {
+		ln, err := net.Listen("tcp", *cf.metrics)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		go http.Serve(ln, mux)
+		fmt.Fprintf(os.Stderr, "sweep: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	if *cf.worker {
 		// Worker mode: the campaign (benchmarks, axes, budgets) is the
 		// coordinator's; every design-space flag of this process is
@@ -138,7 +158,7 @@ func main() {
 		if *cf.remote == "" {
 			fatal(errors.New("-worker requires -remote URL"))
 		}
-		w := campaignd.Worker{URL: *cf.remote, Parallelism: *cf.par, Log: os.Stderr}
+		w := campaignd.Worker{URL: *cf.remote, Parallelism: *cf.par, Log: os.Stderr, Metrics: reg}
 		rep, err := w.Run(ctx)
 		if err != nil {
 			fatal(err)
@@ -157,6 +177,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	runner.SetMetrics(reg)
 
 	// The persistent tier is either a local directory or a coordinator's
 	// store plane; the runner is oblivious to which.
@@ -172,6 +193,7 @@ func main() {
 		}
 		store, storeName = local, local.Dir()
 		runner.SetStore(local)
+		local.RegisterMetrics(reg)
 	case *cf.remote != "":
 		rs, err := campaignd.NewRemoteStore(ctx, *cf.remote)
 		if err != nil {

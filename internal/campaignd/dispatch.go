@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/metrics"
 )
 
 // pointState is the dispatch lifecycle of one plan point.
@@ -56,6 +57,11 @@ type dispatch struct {
 	seq     int
 	nDone   int
 	expired int64 // leases expired so far (observability)
+	// Lease-lifecycle counters (observability): granted counts Lease
+	// grants; completed counts Completes that reported work; forfeited
+	// counts Completes with no indexes (a worker giving a whole batch
+	// back); releasedPts counts points returned to the queue by Release.
+	granted, completed, forfeited, releasedPts int64
 	// pointSec is the EWMA of observed seconds per completed point;
 	// zero until the first lease completes.
 	pointSec float64
@@ -195,6 +201,7 @@ func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, dead
 		return "", nil, time.Time{}, d.nDone == len(d.points)
 	}
 	d.seq++
+	d.granted++
 	id = fmt.Sprintf("lease-%d", d.seq)
 	now := d.now()
 	deadline = now.Add(d.ttl)
@@ -251,6 +258,11 @@ func (d *dispatch) Complete(id string, indexes []int) error {
 				d.state[i] = pointPending
 			}
 		}
+		if len(indexes) == 0 {
+			d.forfeited++
+		} else {
+			d.completed++
+		}
 	}
 	delete(d.leases, id)
 	d.expireLocked()
@@ -279,6 +291,7 @@ func (d *dispatch) Release(id string, indexes []int) {
 	for _, i := range l.indexes {
 		if drop[i] && d.state[i] == pointLeased {
 			d.state[i] = pointPending
+			d.releasedPts++
 			continue
 		}
 		kept = append(kept, i)
@@ -308,6 +321,12 @@ type DispatchStats struct {
 	Points, Done, Leased, Pending int
 	Leases                        int
 	ExpiredLeases                 int64
+	// GrantedLeases counts Lease grants; CompletedLeases counts
+	// Completes that reported work; ForfeitedLeases counts Completes
+	// with no indexes (a worker handing a whole batch back);
+	// ReleasedPoints counts points returned to the queue by Release.
+	GrantedLeases, CompletedLeases  int64
+	ForfeitedLeases, ReleasedPoints int64
 	// EffectiveBatch is the size the next lease would be granted at;
 	// MeanPointMillis is the observed per-point latency EWMA feeding
 	// adaptive batch sizing (0 until a lease completes).
@@ -316,7 +335,9 @@ type DispatchStats struct {
 	ActiveLeases    []LeaseInfo
 }
 
-// Stats snapshots the queue (and sweeps expired leases while at it).
+// Stats snapshots the queue (and sweeps expired leases while at it, so
+// even an otherwise idle coordinator reports crashed workers' leases
+// as expired and their points as pending again).
 func (d *dispatch) Stats() DispatchStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -325,6 +346,10 @@ func (d *dispatch) Stats() DispatchStats {
 		Points:          len(d.points),
 		Leases:          len(d.leases),
 		ExpiredLeases:   d.expired,
+		GrantedLeases:   d.granted,
+		CompletedLeases: d.completed,
+		ForfeitedLeases: d.forfeited,
+		ReleasedPoints:  d.releasedPts,
 		EffectiveBatch:  d.effectiveBatchLocked(),
 		MeanPointMillis: int64(d.pointSec * 1000),
 	}
@@ -349,4 +374,93 @@ func (d *dispatch) Stats() DispatchStats {
 		return st.ActiveLeases[i].Lease < st.ActiveLeases[j].Lease
 	})
 	return st
+}
+
+// activeLeases lists the live leases (sweeping expired ones first) —
+// the one statsz ingredient that carries identity (worker, deadline) a
+// counter cannot.
+func (d *dispatch) activeLeases() []LeaseInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.expireLocked()
+	now := d.now()
+	out := make([]LeaseInfo, 0, len(d.leases))
+	for _, l := range d.leases {
+		out = append(out, LeaseInfo{
+			Lease: l.id, Worker: l.worker, Points: len(l.indexes),
+			ExpiresInMillis: l.deadline.Sub(now).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lease < out[j].Lease })
+	return out
+}
+
+// registerMetrics exposes the queue on reg as func-backed instruments,
+// so the dispatch state under d.mu stays the single source of truth.
+// backendOf[i] names the backend plan point i resolves to; the
+// per-backend plan/done gauges are what lets a scraper reconcile
+// campaign progress against merged-CSV accounting. Every locked
+// callback sweeps expired leases first, so a scrape of an idle
+// coordinator reports crashed workers' leases as expired — never as
+// live — exactly as /v1/statsz does.
+func (d *dispatch) registerMetrics(reg *metrics.Registry, backendOf []string) {
+	locked := func(read func() float64) func() float64 {
+		return func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			d.expireLocked()
+			return read()
+		}
+	}
+	byBackend := map[string][]int{}
+	for i, b := range backendOf {
+		byBackend[b] = append(byBackend[b], i)
+	}
+	for b, idx := range byBackend {
+		idx := idx
+		reg.GaugeFunc("campaignd_points", "plan points by simulation backend",
+			func() float64 { return float64(len(idx)) }, metrics.L("backend", b))
+		reg.GaugeFunc("campaignd_points_done", "plan points completed (result durably in the store) by backend",
+			locked(func() float64 {
+				n := 0
+				for _, i := range idx {
+					if d.state[i] == pointDone {
+						n++
+					}
+				}
+				return float64(n)
+			}), metrics.L("backend", b))
+	}
+	countState := func(want pointState) func() float64 {
+		return locked(func() float64 {
+			n := 0
+			for _, s := range d.state {
+				if s == want {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
+	reg.GaugeFunc("campaignd_queue_pending", "plan points waiting to be leased", countState(pointPending))
+	reg.GaugeFunc("campaignd_points_leased", "plan points owned by live leases", countState(pointLeased))
+	reg.GaugeFunc("campaignd_leases_live", "live (unexpired) leases",
+		locked(func() float64 { return float64(len(d.leases)) }))
+	reg.GaugeFunc("campaignd_lease_batch", "points the next lease would be granted",
+		locked(func() float64 { return float64(d.effectiveBatchLocked()) }))
+	reg.GaugeFunc("campaignd_point_seconds_ewma", "observed per-point completion latency EWMA feeding adaptive batch sizing",
+		locked(func() float64 { return d.pointSec }))
+	for _, c := range []struct {
+		name, help string
+		src        *int64
+	}{
+		{"campaignd_leases_granted_total", "leases granted to workers", &d.granted},
+		{"campaignd_leases_completed_total", "leases completed with work reported", &d.completed},
+		{"campaignd_leases_forfeited_total", "leases handed back whole (empty Complete)", &d.forfeited},
+		{"campaignd_leases_expired_total", "leases expired by TTL (points returned to the queue)", &d.expired},
+		{"campaignd_points_released_total", "points a live lease returned to the queue unrun", &d.releasedPts},
+	} {
+		src := c.src
+		reg.CounterFunc(c.name, c.help, locked(func() float64 { return float64(*src) }))
+	}
 }

@@ -1,0 +1,436 @@
+package campaignd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharedicache/internal/core"
+	"sharedicache/internal/experiments"
+	"sharedicache/internal/metrics"
+)
+
+// scrapeProm fetches a /metrics endpoint and parses the text
+// exposition into "name{labels}" -> value samples, failing the test on
+// lines that do not fit the format.
+func scrapeProm(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("metrics Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// wrapCoordinator stands up a coordinator whose HTTP surface is
+// wrapped by mw — the fault-injection hook the lease-plane regression
+// tests use.
+func wrapCoordinator(t *testing.T, points []experiments.Point, mutate func(*ServerConfig), mw func(http.Handler) http.Handler) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, inner, _ := testServer(t, points, mutate)
+	inner.Close()
+	hs := httptest.NewServer(mw(srv.Handler()))
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// TestReleaseFailureRetriedOnce is the regression pin for the silent
+// Release-failure bug: a worker whose mixed-batch Release is rejected
+// by the coordinator must retry it (once, after a backoff) instead of
+// dropping the error on the floor — pre-fix the call was attempted
+// exactly once and its failure ignored, leaving the points leased
+// until TTL expiry.
+func TestReleaseFailureRetriedOnce(t *testing.T) {
+	registerQuantumStub()
+	pts := []experiments.Point{
+		{Bench: "FT", Cfg: core.DefaultConfig(), Backend: "quantum-sim"},
+		{Bench: "FT", Cfg: core.DefaultConfig()},
+		{Bench: "FT", Cfg: sharedCfg(8, 16, 2)},
+	}
+	var releaseAttempts atomic.Int64
+	srv, hs := wrapCoordinator(t, pts,
+		func(cfg *ServerConfig) {
+			cfg.Batch = 3 // one lease spans the mixed plan
+			// A TTL far beyond the test horizon: if the release does not
+			// actually succeed, expiry cannot quietly paper over it.
+			cfg.TTL = time.Minute
+		},
+		func(inner http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodPost && r.URL.Path == "/v1/release" {
+					if releaseAttempts.Add(1) == 1 {
+						http.Error(w, "injected release failure", http.StatusInternalServerError)
+						return
+					}
+				}
+				inner.ServeHTTP(w, r)
+			})
+		})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	limReg := metrics.NewRegistry()
+	limited := Worker{URL: hs.URL, ID: "limited", Parallelism: 2,
+		Metrics: limReg, backendRegistered: lacksQuantum}
+	limitedCtx, stopLimited := context.WithTimeout(ctx, 5*time.Second)
+	defer stopLimited()
+	lrep, lerr := limited.Run(limitedCtx)
+	if lrep.Points != 2 {
+		t.Fatalf("limited worker completed %d points (err %v), want its 2 executable ones", lrep.Points, lerr)
+	}
+
+	// The failed Release was retried — exactly one retry, which
+	// succeeded, so the quantum point is back in the queue well before
+	// the one-minute TTL.
+	if got := releaseAttempts.Load(); got != 2 {
+		t.Fatalf("coordinator saw %d release attempts, want 2 (initial + one retry)", got)
+	}
+	if v, _ := limReg.Value("worker_release_retries_total"); v != 1 {
+		t.Fatalf("worker_release_retries_total = %v, want 1", v)
+	}
+	if v, _ := limReg.Value("worker_release_failures_total"); v != 0 {
+		t.Fatalf("worker_release_failures_total = %v, want 0 (the retry succeeded)", v)
+	}
+	if st := srv.Stats(); st.Dispatch.ReleasedPoints != 1 {
+		t.Fatalf("dispatch released points = %d, want the retried release to have landed", st.Dispatch.ReleasedPoints)
+	}
+
+	// A capable worker drains the released point without waiting out
+	// the TTL.
+	capable := Worker{URL: hs.URL, ID: "capable", Parallelism: 1}
+	crep, err := capable.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.Points != 1 {
+		t.Fatalf("capable worker completed %d points, want the released quantum point", crep.Points)
+	}
+}
+
+// registerMolassesStub registers a deliberately slow, cancellable
+// backend: each Execute sleeps well past the heartbeat-abandonment
+// test's lease TTL unless its context dies first.
+var registerMolassesStub = sync.OnceFunc(func() {
+	experiments.RegisterBackend("molasses-sim", func(opts experiments.Options) (experiments.Backend, error) {
+		return molassesStub{}, nil
+	})
+})
+
+type molassesStub struct{}
+
+func (molassesStub) Name() string        { return "molasses-sim" }
+func (molassesStub) Fingerprint() string { return "molasses-sim/v1" }
+func (molassesStub) Execute(ctx context.Context, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+	select {
+	case <-time.After(1500 * time.Millisecond):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &core.Result{Config: cfg, Cycles: 7,
+		Cores: make([]core.CoreResult, cfg.Workers+1)}, nil
+}
+
+// TestHeartbeatAbandonsBlackholedRenew is the regression pin for the
+// swallowed-Renew-error bug: a worker whose renewals are blackholed
+// (failing without a Gone verdict) for longer than the lease TTL must
+// abandon the batch — the lease has already expired at the coordinator
+// and the points are up for stealing — instead of simulating doomed
+// work to completion. Pre-fix the worker slept through the outage and
+// reported the batch as a normal completion (LostLeases == 0, one
+// lease).
+func TestHeartbeatAbandonsBlackholedRenew(t *testing.T) {
+	registerMolassesStub()
+	pts := []experiments.Point{{Bench: "FT", Cfg: core.DefaultConfig(), Backend: "molasses-sim"}}
+	_, hs := wrapCoordinator(t, pts,
+		func(cfg *ServerConfig) { cfg.TTL = 250 * time.Millisecond },
+		func(inner http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodPost && r.URL.Path == "/v1/renew" {
+					body, _ := io.ReadAll(r.Body)
+					// Blackhole every renewal of the first lease only: the
+					// re-leased batch must heartbeat normally and finish.
+					if strings.Contains(string(body), `"lease-1"`) {
+						http.Error(w, "injected renew outage", http.StatusServiceUnavailable)
+						return
+					}
+					r.Body = io.NopCloser(bytes.NewReader(body))
+				}
+				inner.ServeHTTP(w, r)
+			})
+		})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	reg := metrics.NewRegistry()
+	w := Worker{URL: hs.URL, ID: "partitioned", Parallelism: 1, Metrics: reg}
+	rep, err := w.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first batch was abandoned once renewals had failed for a full
+	// TTL; the second lease (healthy heartbeats) completed the point.
+	if rep.LostLeases != 1 {
+		t.Fatalf("report = %+v, want exactly 1 lost lease (the blackholed one)", rep)
+	}
+	if rep.Leases != 2 || rep.Points != 1 {
+		t.Fatalf("report = %+v, want 2 leases and 1 completed point", rep)
+	}
+	if v, _ := reg.Value("worker_renew_failures_total"); v < 1 {
+		t.Fatalf("worker_renew_failures_total = %v, want >= 1", v)
+	}
+	if v, _ := reg.Value("worker_lost_leases_total"); v != 1 {
+		t.Fatalf("worker_lost_leases_total = %v, want 1", v)
+	}
+}
+
+// TestIdleStatszSweepsExpiredLeases pins lazy lease expiry on the
+// observability path: with no mutating dispatch traffic at all, a
+// statsz snapshot (and the /metrics gauges) of a coordinator whose
+// worker crashed must report the lease expired and its points pending
+// again — not a live lease and an understated queue.
+func TestIdleStatszSweepsExpiredLeases(t *testing.T) {
+	clk := newFakeClock()
+	pts := testPoints()
+	srv, hs, _ := testServer(t, pts, func(cfg *ServerConfig) {
+		cfg.TTL = time.Second
+		cfg.Batch = 2
+		cfg.now = clk.now
+	})
+	ctx := context.Background()
+	client, err := NewClient(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := client.Lease(ctx, "crasher", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grant.Points) != 2 {
+		t.Fatalf("crasher leased %d points, want 2", len(grant.Points))
+	}
+	if st := srv.Stats(); st.Dispatch.Leases != 1 || st.Dispatch.Leased != 2 {
+		t.Fatalf("pre-expiry stats = %+v, want 1 live lease over 2 points", st.Dispatch)
+	}
+
+	clk.advance(1500 * time.Millisecond)
+
+	// No lease/renew/complete call in between: the snapshot itself must
+	// sweep.
+	st := srv.Stats()
+	if st.Dispatch.Leases != 0 || st.Dispatch.Leased != 0 {
+		t.Fatalf("idle stats = %+v, want the crashed lease expired", st.Dispatch)
+	}
+	if st.Dispatch.ExpiredLeases != 1 {
+		t.Fatalf("expired leases = %d, want 1", st.Dispatch.ExpiredLeases)
+	}
+	if st.Dispatch.Pending != len(pts) {
+		t.Fatalf("pending = %d, want all %d points back in the queue", st.Dispatch.Pending, len(pts))
+	}
+	samples := scrapeProm(t, hs.URL+"/metrics")
+	for key, want := range map[string]float64{
+		"campaignd_leases_live":          0,
+		"campaignd_leases_expired_total": 1,
+		"campaignd_queue_pending":        float64(len(pts)),
+		"campaignd_points_leased":        0,
+	} {
+		if got := samples[key]; got != want {
+			t.Fatalf("scraped %s = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// TestHandshakeBackoff pins the jittered-backoff handshake: a
+// coordinator that only comes up after a few probes is tolerated well
+// inside the retry budget, and a dead one exhausts the budget before
+// the worker gives up.
+func TestHandshakeBackoff(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			http.Error(w, "still binding", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, CampaignInfo{Points: 7, TTLMillis: 1000})
+	}))
+	defer hs.Close()
+	client, err := NewClient(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Worker{URL: hs.URL}
+	start := time.Now()
+	info, err := w.handshake(context.Background(), client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Points != 7 {
+		t.Fatalf("handshake info = %+v, want the served campaign", info)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("coordinator saw %d probes, want 4 (3 failures + success)", got)
+	}
+	// Three failures back off 50+100+200 ms nominal (with jitter at
+	// most 1.5x each): recovery lands far inside the total budget.
+	if elapsed := time.Since(start); elapsed > handshakeBudget {
+		t.Fatalf("recovery took %v, want well under the %v budget", elapsed, handshakeBudget)
+	}
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "permanently broken", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	deadClient, err := NewClient(dead.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	_, err = w.handshake(context.Background(), deadClient)
+	if err == nil || !strings.Contains(err.Error(), "coordinator unreachable") {
+		t.Fatalf("dead coordinator handshake error = %v, want unreachable", err)
+	}
+	if elapsed := time.Since(start); elapsed < handshakeBudget || elapsed > 4*handshakeBudget {
+		t.Fatalf("dead coordinator handshake took %v, want about the %v budget", elapsed, handshakeBudget)
+	}
+}
+
+// TestMetricsReconcileWithCampaign is the loopback observability
+// acceptance pin: after a mixed-backend two-worker campaign with one
+// induced crash, the coordinator's /metrics counters reconcile exactly
+// with /v1/statsz, with the workers' own registries and with the
+// merged CSV — per-backend simulation counts, zero duplicates, and the
+// crashed worker's expired lease all visible.
+func TestMetricsReconcileWithCampaign(t *testing.T) {
+	pts, rows := mixedCampaign()
+	srv, hs, _ := testServer(t, pts, func(cfg *ServerConfig) {
+		cfg.Batch = 2
+		cfg.TTL = 300 * time.Millisecond
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The induced crash: a client leases a batch and disappears without
+	// heartbeat, completion or simulation.
+	crasher, err := NewClient(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant, err := crasher.Lease(ctx, "crasher", 0); err != nil || len(grant.Points) == 0 {
+		t.Fatalf("crasher lease: %v (%d points)", err, len(grant.Points))
+	}
+
+	// Two workers share one registry, so worker_* and the runners'
+	// cache/simulation counters aggregate across the fleet.
+	workReg := metrics.NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := Worker{URL: hs.URL, ID: "w" + string(rune('1'+i)), Parallelism: 2, Metrics: workReg}
+			if _, err := w.Run(ctx); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	distCSV := emitCSV(t, srv.Stream(ctx), rows, len(pts), testOptions().Workers)
+	wg.Wait()
+
+	samples := scrapeProm(t, hs.URL+"/metrics")
+	st := srv.Stats()
+
+	// Campaign complete, queue drained, per-backend progress exact.
+	for key, want := range map[string]float64{
+		`campaignd_points{backend="detailed"}`:        4,
+		`campaignd_points{backend="analytical"}`:      2,
+		`campaignd_points_done{backend="detailed"}`:   4,
+		`campaignd_points_done{backend="analytical"}`: 2,
+		`campaignd_queue_pending`:                     0,
+		`campaignd_points_leased`:                     0,
+		`campaignd_leases_live`:                       0,
+	} {
+		if got := samples[key]; got != want {
+			t.Errorf("scraped %s = %v, want %v", key, got, want)
+		}
+	}
+
+	// Zero duplicate simulations: the workers' per-backend simulation
+	// counters tile the plan exactly, and every simulation was written
+	// to the store exactly once.
+	wsnap := workReg.Snapshot()
+	for backend, want := range map[string]float64{"detailed": 4, "analytical": 2} {
+		if v, ok := wsnap.Value("runner_simulations_total", metrics.L("backend", backend)); !ok || v != want {
+			t.Errorf("workers simulated %v %s points, want %v", v, backend, want)
+		}
+	}
+	if sims, _ := wsnap.Sum("runner_simulations_total"); sims != float64(len(pts)) {
+		t.Errorf("workers simulated %v points total, want %d (duplicates or misses)", sims, len(pts))
+	}
+	if got := samples["runstore_writes_total"]; got != float64(len(pts)) {
+		t.Errorf("scraped runstore_writes_total = %v, want %d", got, len(pts))
+	}
+	if writes, _ := wsnap.Value("runner_cache_writes_total", metrics.L("tier", "store")); writes != float64(len(pts)) {
+		t.Errorf("worker-side store writes = %v, want %d", writes, len(pts))
+	}
+
+	// The induced crash is visible — and /metrics and /v1/statsz tell
+	// the same story, because statsz renders from the same registry.
+	if samples["campaignd_leases_expired_total"] < 1 {
+		t.Error("no expired lease scraped after the induced crash")
+	}
+	reconcile := map[string]float64{
+		"campaignd_leases_expired_total": float64(st.Dispatch.ExpiredLeases),
+		"campaignd_leases_granted_total": float64(st.Dispatch.GrantedLeases),
+		"runstore_writes_total":          float64(st.Store.Writes),
+		"runstore_hits_total":            float64(st.Store.Hits),
+	}
+	if done, _ := srv.Metrics().Snapshot().Sum("campaignd_points_done"); done != float64(st.Dispatch.Done) {
+		t.Errorf("campaignd_points_done sums to %v, statsz Done = %d", done, st.Dispatch.Done)
+	}
+	for key, want := range reconcile {
+		if got := samples[key]; got != want {
+			t.Errorf("scraped %s = %v, statsz says %v", key, got, want)
+		}
+	}
+
+	// And the CSV accounting matches: one data row per shared point,
+	// labelled with the backend that simulated it.
+	for backend, want := range map[string]int{"detailed": 2, "analytical": 2} {
+		if got := strings.Count(string(distCSV), ","+backend+","); got != want {
+			t.Errorf("CSV rows labelled %s = %d, want %d:\n%s", backend, got, want, distCSV)
+		}
+	}
+	if simHist, ok := wsnap.Value("runner_point_duration_seconds", metrics.L("backend", "detailed")); !ok || simHist != 4 {
+		t.Errorf("runner_point_duration_seconds{detailed} observations = %v, want 4", simHist)
+	}
+}

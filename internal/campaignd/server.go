@@ -13,6 +13,10 @@
 //	GET /v1/index        JSON index of trustworthy entries
 //	GET /v1/statsz       store + dispatch counters (JSON, or a
 //	                     human-readable page for Accept: text/html)
+//	GET /metrics         the same counters in Prometheus text
+//	                     exposition (internal/metrics) — statsz renders
+//	                     from the identical registry snapshot, so the
+//	                     two surfaces cannot drift
 //
 // Entries travel in the runstore wire encoding — gzip-compressed by
 // default, sniffed on receipt — and are validated on both ends, so
@@ -52,6 +56,7 @@ import (
 	"time"
 
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
 )
 
@@ -85,6 +90,12 @@ type ServerConfig struct {
 	// worker busy for about a third of the TTL (DefaultBatch until the
 	// first lease completes). A positive value pins the size.
 	Batch int
+	// Metrics receives the coordinator's instruments and is served at
+	// GET /metrics. Nil creates a private registry. Pass the registry
+	// already attached to the Runner (and anything else the process
+	// wants scraped, e.g. a co-resident worker's counters) to publish
+	// everything through one endpoint.
+	Metrics *metrics.Registry
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -93,11 +104,12 @@ type ServerConfig struct {
 // Server coordinates one campaign. Create with New, expose with
 // Handler, merge with Stream.
 type Server struct {
-	runner *experiments.Runner
-	store  *runstore.Store
-	points []experiments.Point
-	d      *dispatch
-	mux    *http.ServeMux
+	runner  *experiments.Runner
+	store   *runstore.Store
+	points  []experiments.Point
+	d       *dispatch
+	mux     *http.ServeMux
+	metrics *metrics.Registry
 }
 
 // CampaignInfo is the dispatch-plane handshake: everything a worker
@@ -179,6 +191,7 @@ func New(cfg ServerConfig) (*Server, error) {
 	// never matches, silently wedging the merge. Refusing at startup
 	// turns that into an actionable error.
 	opts := cfg.Runner.Options()
+	backendOf := make([]string, len(s.points))
 	for i, pt := range s.points {
 		name := opts.PointBackend(pt)
 		if !experiments.BackendRegistered(name) {
@@ -186,12 +199,19 @@ func New(cfg ServerConfig) (*Server, error) {
 				"campaignd: plan point %d (%s) names backend %q, which this coordinator does not register — build the coordinator with the backend linked in",
 				i, pt.Bench, name)
 		}
+		backendOf[i] = name
 	}
 	hashes := make([]string, len(s.points))
 	for i, pt := range s.points {
 		hashes[i] = cfg.Runner.PointKey(pt).Hex()
 	}
 	s.d = newDispatch(s.points, hashes, cfg.TTL, cfg.Batch, cfg.now)
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	s.metrics = cfg.Metrics
+	cfg.Store.RegisterMetrics(s.metrics)
+	s.d.registerMetrics(s.metrics, backendOf)
 	// Resume: points whose results already sit in the store are done —
 	// the campaign's source of truth is the store, not the queue.
 	for i := range s.points {
@@ -209,15 +229,55 @@ func New(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	return s, nil
 }
 
 // Handler returns the coordinator's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Stats snapshots both planes.
+// Metrics returns the registry GET /metrics serves.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Stats snapshots both planes from the metrics registry — /v1/statsz
+// renders the same samples GET /metrics exposes, so the two surfaces
+// cannot drift. Only the per-lease identity list (which a counter
+// cannot carry) is read straight off the queue.
 func (s *Server) Stats() Statsz {
-	return Statsz{Store: s.store.Stats(), Dispatch: s.d.Stats()}
+	snap := s.metrics.Snapshot()
+	intOf := func(name string, labels ...metrics.Label) int64 {
+		v, _ := snap.Value(name, labels...)
+		return int64(v)
+	}
+	sumOf := func(name string) int64 {
+		v, _ := snap.Sum(name)
+		return int64(v)
+	}
+	st := Statsz{
+		Store: runstore.Stats{
+			Hits:       intOf("runstore_hits_total"),
+			Misses:     intOf("runstore_misses_total"),
+			Writes:     intOf("runstore_writes_total"),
+			BadEntries: intOf("runstore_bad_entries_total"),
+		},
+		Dispatch: DispatchStats{
+			Points:          int(sumOf("campaignd_points")),
+			Done:            int(sumOf("campaignd_points_done")),
+			Leased:          int(intOf("campaignd_points_leased")),
+			Pending:         int(intOf("campaignd_queue_pending")),
+			Leases:          int(intOf("campaignd_leases_live")),
+			ExpiredLeases:   intOf("campaignd_leases_expired_total"),
+			GrantedLeases:   intOf("campaignd_leases_granted_total"),
+			CompletedLeases: intOf("campaignd_leases_completed_total"),
+			ForfeitedLeases: intOf("campaignd_leases_forfeited_total"),
+			ReleasedPoints:  intOf("campaignd_points_released_total"),
+			EffectiveBatch:  int(intOf("campaignd_lease_batch")),
+		},
+	}
+	ewma, _ := snap.Value("campaignd_point_seconds_ewma")
+	st.Dispatch.MeanPointMillis = int64(ewma * 1000)
+	st.Dispatch.ActiveLeases = s.d.activeLeases()
+	return st
 }
 
 // --- store plane ---

@@ -41,6 +41,12 @@ var statszTmpl = template.Must(template.New("statsz").Parse(`<!DOCTYPE html>
     <td>{{.Dispatch.ExpiredLeases}}</td><td>{{.Dispatch.EffectiveBatch}}</td>
     <td>{{if .Dispatch.MeanPointMillis}}{{.Dispatch.MeanPointMillis}} ms{{else}}<span class="muted">n/a</span>{{end}}</td></tr>
 </table>
+<table>
+<tr><th>leases granted</th><th>completed</th><th>forfeited</th><th>points released</th></tr>
+<tr><td>{{.Dispatch.GrantedLeases}}</td><td>{{.Dispatch.CompletedLeases}}</td>
+    <td>{{.Dispatch.ForfeitedLeases}}</td><td>{{.Dispatch.ReleasedPoints}}</td></tr>
+</table>
+<p class="muted">machine-readable form: <a href="/metrics">/metrics</a> (Prometheus text exposition)</p>
 
 <h2>Workers</h2>
 {{if .Dispatch.ActiveLeases}}

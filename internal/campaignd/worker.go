@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"os"
 	"time"
 
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
 )
 
@@ -29,6 +31,12 @@ type Worker struct {
 	Max int
 	// Log receives progress lines; nil means silent.
 	Log io.Writer
+	// Metrics receives the worker's lease-plane counters (worker_*) and
+	// is attached to the worker's Runner, so its cache and simulation
+	// instruments land there too. Nil books into a private registry —
+	// the counters still drive WorkerReport-adjacent logging but are
+	// not scraped.
+	Metrics *metrics.Registry
 
 	// backendRegistered overrides the backend-availability check in
 	// tests (which cannot unregister a backend from the process-wide
@@ -57,6 +65,24 @@ type WorkerReport struct {
 	Forfeited int
 	// Store is the remote tier's traffic as seen from this worker.
 	Store runstore.Stats
+}
+
+// workerMetrics bundles the worker's lease-plane counters.
+type workerMetrics struct {
+	leases, lostLeases, forfeits    *metrics.Counter
+	renewFailures                   *metrics.Counter
+	releaseRetries, releaseFailures *metrics.Counter
+}
+
+func newWorkerMetrics(reg *metrics.Registry) *workerMetrics {
+	return &workerMetrics{
+		leases:          reg.Counter("worker_leases_total", "lease batches this worker started executing"),
+		lostLeases:      reg.Counter("worker_lost_leases_total", "batches abandoned because the lease expired under us"),
+		forfeits:        reg.Counter("worker_forfeits_total", "leases handed back whole for lack of the named backend"),
+		renewFailures:   reg.Counter("worker_renew_failures_total", "heartbeat renewals that failed without a Gone verdict"),
+		releaseRetries:  reg.Counter("worker_release_retries_total", "failed queue-returning calls (Release or forfeit Complete) retried"),
+		releaseFailures: reg.Counter("worker_release_failures_total", "queue-returning calls that still failed after the retry (lease expiry is the fallback)"),
+	}
 }
 
 // Run executes the worker loop until the campaign completes, the
@@ -88,6 +114,12 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 		return rep, fmt.Errorf("campaignd: coordinator served unusable options: %w", err)
 	}
 	runner.SetStore(store)
+	reg := w.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	runner.SetMetrics(reg)
+	m := newWorkerMetrics(reg)
 
 	ttl := time.Duration(info.TTLMillis) * time.Millisecond
 	poll := clamp(ttl/5, 10*time.Millisecond, time.Second)
@@ -124,9 +156,12 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 			// doubled poll delay handicaps us in the race for them so
 			// capable workers claim them first.
 			rep.Forfeited++
+			m.forfeits.Inc()
 			w.logf("lease %s: forfeiting — backend %q not registered in this worker", lr.Lease, missing)
-			if err := client.Complete(ctx, lr.Lease, nil); err != nil && ctx.Err() != nil {
-				return rep, ctx.Err()
+			if err := w.giveBack(ctx, m, "forfeit", lr.Lease, func(ctx context.Context) error {
+				return client.Complete(ctx, lr.Lease, nil)
+			}); err != nil {
+				return rep, err
 			}
 			select {
 			case <-time.After(2 * poll):
@@ -154,24 +189,63 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 			}
 			w.logf("lease %s: releasing %d points needing backend %q",
 				lr.Lease, len(drop), missing)
-			if err := client.Release(ctx, lr.Lease, drop); err != nil && ctx.Err() != nil {
-				return rep, ctx.Err()
+			if err := w.giveBack(ctx, m, "release", lr.Lease, func(ctx context.Context) error {
+				return client.Release(ctx, lr.Lease, drop)
+			}); err != nil {
+				return rep, err
 			}
 			lr.Points = runnable
 		}
 		rep.Leases++
+		m.leases.Inc()
 		w.logf("lease %s: %d points", lr.Lease, len(lr.Points))
 
-		done, lost, err := w.runBatch(ctx, client, runner, store, lr, ttl)
+		done, lost, err := w.runBatch(ctx, client, runner, store, m, lr, ttl)
 		rep.Points += done
 		if err != nil {
 			return rep, err
 		}
 		if lost {
 			rep.LostLeases++
+			m.lostLeases.Inc()
 			w.logf("lease %s expired under us; re-leasing", lr.Lease)
 		}
 	}
+}
+
+// releaseBackoff is the pause before the single retry of a failed
+// queue-returning call.
+const releaseBackoff = 100 * time.Millisecond
+
+// giveBack runs one queue-returning call (a Release of part of a lease
+// or a forfeiting empty Complete), retrying once after a short backoff.
+// A call that still fails is logged and counted, not fatal: the TTL
+// eventually returns the points anyway, it just stalls the campaign by
+// up to a lease lifetime. The returned error is non-nil only when ctx
+// died.
+func (w *Worker) giveBack(ctx context.Context, m *workerMetrics, what, lease string, call func(context.Context) error) error {
+	err := call(ctx)
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	m.releaseRetries.Inc()
+	w.logf("%s %s: %v; retrying once", what, lease, err)
+	select {
+	case <-time.After(releaseBackoff):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if err := call(ctx); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		m.releaseFailures.Inc()
+		w.logf("%s %s failed after retry: %v — the points return to the queue at TTL expiry", what, lease, err)
+	}
+	return nil
 }
 
 // splitByBackend partitions the leased points into those this process
@@ -203,25 +277,45 @@ func (w *Worker) splitByBackend(opts experiments.Options, lr LeaseGrant) (runnab
 // coordinator (a PUT marks its point complete) and will never be
 // leased to anyone else, so dropping them would understate this
 // worker's share.
-func (w *Worker) runBatch(ctx context.Context, client *Client, runner *experiments.Runner, store *RemoteStore, lr LeaseGrant, ttl time.Duration) (int, bool, error) {
+func (w *Worker) runBatch(ctx context.Context, client *Client, runner *experiments.Runner, store *RemoteStore, m *workerMetrics, lr LeaseGrant, ttl time.Duration) (int, bool, error) {
 	batchCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// Heartbeat: renew at a third of the TTL; a Gone response means the
+	// Heartbeat: renew at a third of the TTL. A Gone response means the
 	// coordinator already gave our points away, so stop simulating them.
+	// Other failures (coordinator hiccup, partition) are counted and
+	// tolerated — until they span more than the TTL since the last
+	// successful renewal: by then the lease has expired at the
+	// coordinator and the points are up for stealing, so simulating on
+	// is the same doomed work the Gone path abandons.
 	leaseLost := make(chan struct{})
 	hbStopped := make(chan struct{})
 	go func() {
 		defer close(hbStopped)
 		tick := time.NewTicker(clamp(ttl/3, 5*time.Millisecond, time.Minute))
 		defer tick.Stop()
+		lastOK := time.Now() // the grant itself started the TTL clock
 		for {
 			select {
 			case <-tick.C:
-				if err := client.Renew(batchCtx, lr.Lease); errors.Is(err, ErrLeaseGone) {
+				switch err := client.Renew(batchCtx, lr.Lease); {
+				case err == nil:
+					lastOK = time.Now()
+				case errors.Is(err, ErrLeaseGone):
 					close(leaseLost)
 					cancel()
 					return
+				case batchCtx.Err() != nil:
+					return
+				default:
+					m.renewFailures.Inc()
+					w.logf("renew %s: %v", lr.Lease, err)
+					if time.Since(lastOK) > ttl {
+						w.logf("lease %s: renewals failing for over the TTL; abandoning batch", lr.Lease)
+						close(leaseLost)
+						cancel()
+						return
+					}
 				}
 			case <-batchCtx.Done():
 				return
@@ -264,23 +358,39 @@ func (w *Worker) runBatch(ctx context.Context, client *Client, runner *experimen
 	return len(points), false, nil
 }
 
+// handshakeBudget bounds the total time handshake spends retrying —
+// the same ~5 s the old fixed 250 ms × 20 schedule allowed.
+const handshakeBudget = 5 * time.Second
+
 // handshake fetches the campaign info, tolerating a coordinator that
-// is still binding its listener.
+// is still binding its listener. Retries back off exponentially
+// (50 ms doubling to a 1 s cap) with full jitter over the current
+// window, so a fleet of workers launched together neither hammers a
+// slow coordinator nor retries in lockstep.
 func (w *Worker) handshake(ctx context.Context, client *Client) (CampaignInfo, error) {
 	var last error
-	for attempt := 0; attempt < 20; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-time.After(250 * time.Millisecond):
-			case <-ctx.Done():
-				return CampaignInfo{}, ctx.Err()
-			}
-		}
+	deadline := time.Now().Add(handshakeBudget)
+	for delay := 50 * time.Millisecond; ; {
 		info, err := client.Campaign(ctx)
 		if err == nil {
 			return info, nil
 		}
 		last = err
+		if ctx.Err() != nil {
+			return CampaignInfo{}, ctx.Err()
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		pause := delay/2 + time.Duration(rand.Int64N(int64(delay)))
+		select {
+		case <-time.After(pause):
+		case <-ctx.Done():
+			return CampaignInfo{}, ctx.Err()
+		}
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
 	}
 	return CampaignInfo{}, fmt.Errorf("campaignd: coordinator unreachable: %w", last)
 }

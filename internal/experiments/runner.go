@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"sharedicache/internal/core"
+	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/synth"
 )
@@ -168,6 +170,10 @@ type Runner struct {
 	// simsBy["detailed"] at zero for triage sweeps.
 	backends map[string]Backend
 	simsBy   map[string]int64
+
+	// metrics, when attached with SetMetrics, receives the cache-tier
+	// and simulation counters; nil leaves the runner unobserved.
+	metrics *metrics.Registry
 }
 
 // runKey identifies one design point in the memory cache tier. The
@@ -292,6 +298,59 @@ func (r *Runner) Store() ResultStore {
 	return r.store
 }
 
+// SetMetrics attaches a metrics registry. The runner then publishes
+// per-tier cache traffic (runner_cache_hits_total / _misses_total /
+// _writes_total, labelled tier="memory"|"store"), executed simulations
+// by backend (runner_simulations_total) and a per-point wall-clock
+// histogram (runner_point_duration_seconds). Attach before running
+// plans; a nil registry detaches.
+func (r *Runner) SetMetrics(reg *metrics.Registry) {
+	r.mu.Lock()
+	r.metrics = reg
+	r.mu.Unlock()
+}
+
+// countCache books one cache-tier event on the attached registry.
+func (r *Runner) countCache(tier string, hit bool) {
+	r.mu.Lock()
+	reg := r.metrics
+	r.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	name := "runner_cache_misses_total"
+	if hit {
+		name = "runner_cache_hits_total"
+	}
+	reg.Counter(name, "run-cache lookups by tier and outcome", metrics.L("tier", tier)).Inc()
+}
+
+// countWrite books one store-tier write-back.
+func (r *Runner) countWrite() {
+	r.mu.Lock()
+	reg := r.metrics
+	r.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	reg.Counter("runner_cache_writes_total", "fresh results written back to the persistent tier",
+		metrics.L("tier", "store")).Inc()
+}
+
+// observeExecution books one executed simulation and its wall-clock.
+func (r *Runner) observeExecution(backend string, elapsed time.Duration) {
+	r.mu.Lock()
+	reg := r.metrics
+	r.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	reg.Counter("runner_simulations_total", "simulations executed (cache misses in both tiers) by backend",
+		metrics.L("backend", backend)).Inc()
+	reg.Histogram("runner_point_duration_seconds", "wall-clock seconds per executed design point",
+		metrics.DurationBuckets, metrics.L("backend", backend)).Observe(elapsed.Seconds())
+}
+
 // fingerprint identifies the result-affecting campaign options inside
 // every persistent-store key. CharInstructions is stored resolved so
 // an explicit budget equal to the default hashes identically, and the
@@ -371,6 +430,7 @@ func (r *Runner) simulate(ctx context.Context, backend, bench string, cfg core.C
 	r.mu.Lock()
 	if e, ok := r.runs[key]; ok {
 		r.mu.Unlock()
+		r.countCache("memory", true)
 		select {
 		case <-e.done:
 			return e.res, e.err
@@ -390,6 +450,7 @@ func (r *Runner) simulate(ctx context.Context, backend, bench string, cfg core.C
 	r.runs[key] = e
 	st := r.store
 	r.mu.Unlock()
+	r.countCache("memory", false)
 
 	e.res, e.err = r.executeOrLoad(ctx, st, backend, bench, cfg, prewarm)
 	if e.err != nil {
@@ -412,8 +473,10 @@ func (r *Runner) simulate(ctx context.Context, backend, bench string, cfg core.C
 func (r *Runner) executeOrLoad(ctx context.Context, st ResultStore, backend, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
 	if st != nil {
 		if res, ok := st.Get(r.storeKey(backend, bench, cfg, prewarm)); ok {
+			r.countCache("store", true)
 			return res, nil
 		}
+		r.countCache("store", false)
 	}
 	res, err := r.execute(ctx, backend, bench, cfg, prewarm)
 	if err != nil {
@@ -423,6 +486,7 @@ func (r *Runner) executeOrLoad(ctx context.Context, st ResultStore, backend, ben
 		if err := st.Put(r.storeKey(backend, bench, cfg, prewarm), res); err != nil {
 			return nil, fmt.Errorf("persist result: %w", err)
 		}
+		r.countWrite()
 	}
 	return res, nil
 }
@@ -434,6 +498,7 @@ func (r *Runner) execute(ctx context.Context, backend, bench string, cfg core.Co
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	res, err := b.Execute(ctx, bench, cfg, prewarm)
 	if err != nil {
 		return nil, err
@@ -441,6 +506,7 @@ func (r *Runner) execute(ctx context.Context, backend, bench string, cfg core.Co
 	r.mu.Lock()
 	r.simsBy[backend]++
 	r.mu.Unlock()
+	r.observeExecution(backend, time.Since(start))
 	return res, nil
 }
 

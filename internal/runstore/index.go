@@ -76,6 +76,8 @@ const tmpGrace = time.Hour
 // the fingerprint; GC does not). It returns how many files were
 // removed.
 func (s *Store) GC() (removed int, err error) {
+	s.gcSweeps.Add(1)
+	defer func() { s.gcRemoved.Add(int64(removed)) }()
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
 		return 0, err

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"sharedicache/internal/core"
+	"sharedicache/internal/metrics"
 )
 
 // FormatVersion is baked into every entry and into the key hash, so a
@@ -124,6 +125,7 @@ type Store struct {
 	dir string
 
 	hits, misses, writes, bad atomic.Int64
+	gcSweeps, gcRemoved       atomic.Int64
 }
 
 // Open creates the directory if needed and returns a store over it.
@@ -364,5 +366,27 @@ func (s *Store) Stats() Stats {
 		Misses:     s.misses.Load(),
 		Writes:     s.writes.Load(),
 		BadEntries: s.bad.Load(),
+	}
+}
+
+// RegisterMetrics exposes the store's traffic counters on reg as
+// func-backed instruments sampled at scrape time, so the atomics above
+// stay the single source of truth. Re-registering (e.g. a store
+// reopened over the same registry) rebinds the callbacks to the newest
+// store.
+func (s *Store) RegisterMetrics(reg *metrics.Registry) {
+	for _, c := range []struct {
+		name, help string
+		src        *atomic.Int64
+	}{
+		{"runstore_hits_total", "store Gets that returned a trustworthy entry", &s.hits},
+		{"runstore_misses_total", "store Gets that found nothing usable", &s.misses},
+		{"runstore_writes_total", "entries durably written", &s.writes},
+		{"runstore_bad_entries_total", "reads that found a file but could not trust it", &s.bad},
+		{"runstore_gc_sweeps_total", "GC passes over the store directory", &s.gcSweeps},
+		{"runstore_gc_removed_total", "files GC removed (debris entries and orphaned temp files)", &s.gcRemoved},
+	} {
+		src := c.src
+		reg.CounterFunc(c.name, c.help, func() float64 { return float64(src.Load()) })
 	}
 }

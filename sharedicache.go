@@ -49,6 +49,10 @@
 //     ground truth on a golden slice, triage the full space
 //     analytically, and re-plan the frontier a FrontierSelector picks
 //     onto the detailed backend (see docs/REFINE.md).
+//   - MetricsRegistry (internal/metrics) is the observability layer:
+//     runner cache tiers, store traffic and lease health all register
+//     on one registry, served in Prometheus text form at the
+//     coordinator's GET /metrics (see docs/ARCHITECTURE.md).
 //   - Tech / Cluster wrap the McPAT/CACTI-style area & energy model
 //     (internal/power).
 //   - CMPDesign wraps the Hill-Marty speedup model (internal/amdahl).
@@ -63,6 +67,7 @@ import (
 	"sharedicache/internal/core"
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/interconnect"
+	"sharedicache/internal/metrics"
 	"sharedicache/internal/power"
 	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
@@ -227,6 +232,16 @@ func OpenRemoteRunStore(ctx context.Context, baseURL string) (*RemoteRunStore, e
 // CampaignWorker leases design points from a CampaignServer, simulates
 // them, and publishes the results back through the store plane.
 type CampaignWorker = campaignd.Worker
+
+// MetricsRegistry collects the process's counters, gauges and
+// histograms and renders them in Prometheus text exposition form;
+// attach one to a Runner with SetMetrics, a CampaignWorker via its
+// Metrics field, or a CampaignServer via its config to publish the
+// whole campaign's health on one GET /metrics endpoint.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // DesignSpace enumerates the swept design-space axes shared by
 // cmd/sweep and cmd/campaignd; Build declares it on a Runner as a
