@@ -27,26 +27,43 @@ import (
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
+	"sharedicache/internal/tracing"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "FT", "benchmark name (see -listbench)")
-		org     = flag.String("org", "private", "I-cache organization: private, worker-shared, all-shared")
-		cpc     = flag.Int("cpc", 8, "worker cores per shared I-cache (worker-shared only)")
-		icache  = flag.Int("icache", 32, "I-cache size in KB")
-		lb      = flag.Int("lb", 4, "line buffers per core")
-		buses   = flag.Int("buses", 1, "buses per shared I-cache (1 or 2)")
-		workers = flag.Int("workers", 8, "worker core count")
-		n       = flag.Uint64("n", 200_000, "master-thread instruction budget")
-		seed    = flag.Uint64("seed", 1, "workload synthesis seed")
-		cold    = flag.Bool("cold", false, "start with cold caches instead of steady state")
-		traces  = flag.String("traces", "", "directory of <bench>.tNN.trace files from cmd/tracegen (replaces synthesis)")
-		store   = flag.String("store", "", "persistent run-store directory (synthesised runs only)")
-		backend = flag.String("backend", "", "simulation backend: detailed (default) or analytical (synthesised runs only)")
-		list    = flag.Bool("listbench", false, "list benchmark names and exit")
+		bench    = flag.String("bench", "FT", "benchmark name (see -listbench)")
+		org      = flag.String("org", "private", "I-cache organization: private, worker-shared, all-shared")
+		cpc      = flag.Int("cpc", 8, "worker cores per shared I-cache (worker-shared only)")
+		icache   = flag.Int("icache", 32, "I-cache size in KB")
+		lb       = flag.Int("lb", 4, "line buffers per core")
+		buses    = flag.Int("buses", 1, "buses per shared I-cache (1 or 2)")
+		workers  = flag.Int("workers", 8, "worker core count")
+		n        = flag.Uint64("n", 200_000, "master-thread instruction budget")
+		seed     = flag.Uint64("seed", 1, "workload synthesis seed")
+		cold     = flag.Bool("cold", false, "start with cold caches instead of steady state")
+		traces   = flag.String("traces", "", "directory of <bench>.tNN.trace files from cmd/tracegen (replaces synthesis)")
+		store    = flag.String("store", "", "persistent run-store directory (synthesised runs only)")
+		backend  = flag.String("backend", "", "simulation backend: detailed (default) or analytical (synthesised runs only)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)")
+		list     = flag.Bool("listbench", false, "list benchmark names and exit")
 	)
 	flag.Parse()
+
+	// -trace: spans come from the experiments engine on the synthesised
+	// path, or a single replay span on the trace-replay path.
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.Config{Process: "acmpsim"})
+		defer func() {
+			n, err := tracing.WriteFile(*traceOut, tracer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acmpsim: trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "acmpsim: trace: %d spans written to %s\n", n, *traceOut)
+		}()
+	}
 
 	if *list {
 		for _, p := range synth.Profiles() {
@@ -97,6 +114,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		runner.SetTracer(tracer)
 		if *store != "" {
 			st, err := runstore.Open(*store)
 			if err != nil {
@@ -143,7 +161,10 @@ func main() {
 	if !*cold {
 		sim.Prewarm(ic, l2)
 	}
+	_, span := tracer.Start(context.Background(), "replay",
+		tracing.A("bench", *bench), tracing.A("org", *org))
 	res, err := sim.Run()
+	span.End()
 	for _, f := range closers {
 		f.Close()
 	}

@@ -41,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -53,6 +54,7 @@ import (
 	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/sweep"
+	"sharedicache/internal/tracing"
 )
 
 func main() {
@@ -70,21 +72,42 @@ func main() {
 		grace    = flag.Duration("grace", 2*time.Second, "keep serving this long after completion so polling workers see the campaign finish")
 		par      = flag.Int("par", 0, "worker mode: max concurrent simulations (0 = GOMAXPROCS)")
 		id       = flag.String("id", "", "worker mode: worker name in leases (default host-pid)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (coordinator mode also serves it at GET /v1/trace)")
+		pprofOn  = flag.Bool("pprof", false, "coordinator mode: also serve net/http/pprof under /debug/pprof/ on -addr")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// -trace: record a span timeline and export it as Chrome
+	// trace-event JSON at exit; in coordinator mode the same buffer —
+	// merged with the workers' pushed spans — also serves GET /v1/trace.
+	var tracer *tracing.Tracer
+	writeTrace := func(proc string) {
+		n, err := tracing.WriteFile(*traceOut, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaignd: trace:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "campaignd: trace: %d spans written to %s (%s)\n", n, *traceOut, proc)
+	}
+
 	// -join: thin worker mode, identical to `sweep -remote URL -worker`.
 	if *join != "" {
-		w := campaignd.Worker{URL: *join, ID: *id, Parallelism: *par, Log: os.Stderr}
+		if *traceOut != "" {
+			tracer = tracing.New(tracing.Config{Process: "worker"})
+		}
+		w := campaignd.Worker{URL: *join, ID: *id, Parallelism: *par, Log: os.Stderr, Tracer: tracer}
 		rep, err := w.Run(ctx)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "campaignd: worker done: %d points over %d leases (%d lost, %d forfeited), %d simulated, %d store hits\n",
 			rep.Points, rep.Leases, rep.LostLeases, rep.Forfeited, rep.Simulations, rep.Store.Hits)
+		if *traceOut != "" {
+			writeTrace("worker")
+		}
 		return
 	}
 
@@ -99,16 +122,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Structured coordinator logging: slog for progress and store
+	// warnings; the campaign accounting lines the smoke tests pin stay
+	// plain Fprintf below.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	store, err := runstore.Open(*storeDir)
 	if err != nil {
 		fatal(err)
 	}
+	store.SetLogger(logger)
 	runner.SetStore(store)
 	// One registry for the whole process, created before any refine prep
 	// so the calibration and triage simulations are on it too; the server
-	// serves it at GET /metrics next to /v1/statsz.
+	// serves it at GET /metrics next to /v1/statsz. Runtime gauges
+	// (goroutines, heap, GC pauses) ride along.
 	reg := metrics.NewRegistry()
+	metrics.RegisterRuntime(reg)
 	runner.SetMetrics(reg)
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.Config{Process: "coordinator"})
+		runner.SetTracer(tracer)
+	}
 
 	space, err := sf.Space()
 	if err != nil {
@@ -137,6 +171,7 @@ func main() {
 		ref, err = refine.Prepare(ctx, refine.Config{
 			Space: space, Runner: runner, Store: store,
 			Selector: sel, GoldenMax: rf.Golden, Log: os.Stderr,
+			Tracer: tracer,
 		})
 		if err != nil {
 			fatal(err)
@@ -148,7 +183,7 @@ func main() {
 
 	srv, err := campaignd.New(campaignd.ServerConfig{
 		Runner: runner, Store: store, Points: plan.Points(),
-		TTL: *ttl, Batch: *batch, Metrics: reg,
+		TTL: *ttl, Batch: *batch, Metrics: reg, Tracer: tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -157,7 +192,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		metrics.RegisterPprof(mux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 	go httpSrv.Serve(ln)
 	// Snapshot before serving: points already done (a warm store, or
 	// the refine prep's local phases) and writes already booked, so the
@@ -168,8 +210,9 @@ func main() {
 	if *batch == 0 {
 		batchDesc = "adaptive batch"
 	}
-	fmt.Fprintf(os.Stderr, "campaignd: serving on %s: %d points (%d already in store), lease ttl %v, %s\n",
-		ln.Addr(), plan.Len(), pre, *ttl, batchDesc)
+	logger.Info("campaignd: serving",
+		"addr", ln.Addr().String(), "points", plan.Len(), "in_store", pre,
+		"ttl", *ttl, "batch", batchDesc, "pprof", *pprofOn, "trace", *traceOut != "")
 
 	// Merge: stream results in plan order as workers publish them —
 	// EmitStream is the same emission loop a single-process sweep runs,
@@ -206,6 +249,8 @@ func main() {
 	}
 
 	// Let polling workers observe Done before the listener goes away.
+	// The grace window also collects the final worker span pushes, so
+	// the exported timeline is the complete merged one.
 	select {
 	case <-time.After(*grace):
 	case <-ctx.Done():
@@ -213,6 +258,9 @@ func main() {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(shutCtx)
+	if *traceOut != "" {
+		writeTrace("coordinator")
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -22,6 +22,7 @@ import (
 
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/tracing"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		par     = flag.Int("par", 0, "max concurrently characterised benchmarks (0 = GOMAXPROCS)")
 		store   = flag.String("store", "", "persistent run-store directory (used only if cycle simulations run)")
 		backend = flag.String("backend", "", "simulation backend for any simulated points: detailed (default) or analytical")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)")
 	)
 	flag.Parse()
 
@@ -61,26 +63,48 @@ func main() {
 		runner.SetStore(st)
 	}
 
+	// -trace: one span per characterisation figure, written as Chrome
+	// trace-event JSON at exit.
+	var tracer *tracing.Tracer
+	if *trace != "" {
+		tracer = tracing.New(tracing.Config{Process: "characterize"})
+		runner.SetTracer(tracer)
+		defer func() {
+			n, err := tracing.WriteFile(*trace, tracer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "characterize: trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "characterize: trace: %d spans written to %s\n", n, *trace)
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fig2, err := experiments.Fig2(ctx, runner)
-	if err != nil {
-		fatal(err)
+	figures := []struct {
+		id  string
+		run func(context.Context, *experiments.Runner) (experiments.Renderable, error)
+	}{
+		{"fig2", func(ctx context.Context, r *experiments.Runner) (experiments.Renderable, error) {
+			return experiments.Fig2(ctx, r)
+		}},
+		{"fig3", func(ctx context.Context, r *experiments.Runner) (experiments.Renderable, error) {
+			return experiments.Fig3(ctx, r)
+		}},
+		{"fig4", func(ctx context.Context, r *experiments.Runner) (experiments.Renderable, error) {
+			return experiments.Fig4(ctx, r)
+		}},
 	}
-	fmt.Println(fig2.Table().String())
-
-	fig3, err := experiments.Fig3(ctx, runner)
-	if err != nil {
-		fatal(err)
+	for _, f := range figures {
+		fctx, span := tracer.Start(ctx, "figure", tracing.A("id", f.id))
+		res, err := f.run(fctx, runner)
+		span.End()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table().String())
 	}
-	fmt.Println(fig3.Table().String())
-
-	fig4, err := experiments.Fig4(ctx, runner)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(fig4.Table().String())
 }
 
 func fatal(err error) {

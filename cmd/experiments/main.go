@@ -29,6 +29,7 @@ import (
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/sweep"
+	"sharedicache/internal/tracing"
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 		chart   = flag.Int("chart", -1, "also render column N (0-based) as an ASCII bar chart")
 		store   = flag.String("store", "", "persistent run-store directory (second cache tier)")
 		storeop = flag.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)")
 		stream  = flag.Bool("stream", true, "render supporting figures row-by-row as points complete (text format)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -81,6 +83,21 @@ func main() {
 	runner, err := experiments.NewRunner(opts)
 	if err != nil {
 		fatal(err)
+	}
+	// -trace: one parent span per figure, point/store spans nested under
+	// it by the runner; the timeline writes at exit.
+	var tracer *tracing.Tracer
+	if *trace != "" {
+		tracer = tracing.New(tracing.Config{Process: "experiments"})
+		runner.SetTracer(tracer)
+		defer func() {
+			n, err := tracing.WriteFile(*trace, tracer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "experiments: trace: %d spans written to %s\n", n, *trace)
+		}()
 	}
 	var st *runstore.Store
 	if *store != "" {
@@ -119,12 +136,15 @@ func main() {
 		start := time.Now()
 		var res experiments.Renderable
 		var err error
+		// Each figure is one parent span; the runner's point spans nest
+		// under it through ectx. No-ops when -trace is off.
+		ectx, span := tracer.Start(ctx, "experiment", tracing.A("id", e.ID))
 		streamed := *format == "text" && *stream && e.Stream != nil
 		if streamed {
 			// Incremental rendering: print each table row the moment its
 			// design points complete instead of waiting for the figure.
 			fmt.Printf("%s: %s\n", e.ID, e.Title)
-			res, err = e.Stream(ctx, runner, func(label string, cells ...string) {
+			res, err = e.Stream(ectx, runner, func(label string, cells ...string) {
 				fmt.Printf("%-12s", label)
 				for _, c := range cells {
 					fmt.Printf("  %14s", c)
@@ -132,8 +152,12 @@ func main() {
 				fmt.Println()
 			})
 		} else {
-			res, err = e.Run(ctx, runner)
+			res, err = e.Run(ectx, runner)
 		}
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "experiments: interrupted")

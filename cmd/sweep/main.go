@@ -61,6 +61,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -73,6 +74,7 @@ import (
 	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/sweep"
+	"sharedicache/internal/tracing"
 )
 
 // cliFlags is cmd/sweep's full flag set. It exists as a struct (and
@@ -90,6 +92,8 @@ type cliFlags struct {
 	merge    *bool
 	storeop  *string
 	metrics  *string
+	trace    *string
+	pprof    *bool
 }
 
 // registerFlags declares every cmd/sweep flag on fs. The design-space
@@ -108,6 +112,8 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		merge:    fs.Bool("merge", false, "render the CSV from the store without simulating"),
 		storeop:  fs.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit"),
 		metrics:  fs.String("metrics", "", "serve Prometheus text metrics at this address (GET /metrics) for the run's duration"),
+		trace:    fs.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)"),
+		pprof:    fs.Bool("pprof", false, "with -metrics: also serve net/http/pprof under /debug/pprof/ on the metrics address"),
 	}
 }
 
@@ -138,8 +144,13 @@ func main() {
 	}
 	// One registry covers the whole process — the runner's cache tiers,
 	// the local store if any, and worker-mode lease counters all land on
-	// it; -metrics serves it for scraping while the run lasts.
+	// it; -metrics serves it for scraping while the run lasts. Runtime
+	// gauges (goroutines, heap, GC pauses) ride along for free.
 	reg := metrics.NewRegistry()
+	metrics.RegisterRuntime(reg)
+	if *cf.pprof && *cf.metrics == "" {
+		fatal(errors.New("-pprof requires -metrics (it mounts on the metrics listener)"))
+	}
 	if *cf.metrics != "" {
 		ln, err := net.Listen("tcp", *cf.metrics)
 		if err != nil {
@@ -147,8 +158,27 @@ func main() {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", reg.Handler())
+		if *cf.pprof {
+			metrics.RegisterPprof(mux)
+		}
 		go http.Serve(ln, mux)
 		fmt.Fprintf(os.Stderr, "sweep: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	// -trace: record a span timeline of the whole run and export it as
+	// Chrome trace-event JSON at exit. fatal() skips the export — a
+	// failed run has no timeline worth auditing.
+	var tracer *tracing.Tracer
+	if *cf.trace != "" {
+		tracer = tracing.New(tracing.Config{Process: "sweep"})
+		defer func() {
+			n, err := tracing.WriteFile(*cf.trace, tracer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "sweep: trace: %d spans written to %s\n", n, *cf.trace)
+		}()
 	}
 
 	if *cf.worker {
@@ -158,7 +188,7 @@ func main() {
 		if *cf.remote == "" {
 			fatal(errors.New("-worker requires -remote URL"))
 		}
-		w := campaignd.Worker{URL: *cf.remote, Parallelism: *cf.par, Log: os.Stderr, Metrics: reg}
+		w := campaignd.Worker{URL: *cf.remote, Parallelism: *cf.par, Log: os.Stderr, Metrics: reg, Tracer: tracer}
 		rep, err := w.Run(ctx)
 		if err != nil {
 			fatal(err)
@@ -178,6 +208,7 @@ func main() {
 		fatal(err)
 	}
 	runner.SetMetrics(reg)
+	runner.SetTracer(tracer)
 
 	// The persistent tier is either a local directory or a coordinator's
 	// store plane; the runner is oblivious to which.
@@ -191,6 +222,7 @@ func main() {
 		if local, err = runstore.Open(*cf.storeDir); err != nil {
 			fatal(err)
 		}
+		local.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 		store, storeName = local, local.Dir()
 		runner.SetStore(local)
 		local.RegisterMetrics(reg)
@@ -216,7 +248,7 @@ func main() {
 	// Auto-refine: calibrate, triage analytically, re-run the selected
 	// frontier on the detailed backend, one merged CSV.
 	if cf.rf.Enabled() {
-		runRefine(ctx, cf, runner, local)
+		runRefine(ctx, cf, runner, local, tracer)
 		return
 	}
 
@@ -316,7 +348,7 @@ func main() {
 // runRefine executes the two-phase auto-refine campaign locally and
 // emits the merged CSV (phase + backend columns, calibration applied
 // to triage rows).
-func runRefine(ctx context.Context, cf *cliFlags, runner *experiments.Runner, local *runstore.Store) {
+func runRefine(ctx context.Context, cf *cliFlags, runner *experiments.Runner, local *runstore.Store, tracer *tracing.Tracer) {
 	sel, err := cf.rf.Selector()
 	if err != nil {
 		fatal(err)
@@ -332,6 +364,7 @@ func runRefine(ctx context.Context, cf *cliFlags, runner *experiments.Runner, lo
 		Selector:  sel,
 		GoldenMax: cf.rf.Golden,
 		Log:       os.Stderr,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		fatal(err)

@@ -26,7 +26,7 @@ func TestDocsLinks(t *testing.T) {
 		}
 		files = append(files, m...)
 	}
-	if len(files) < 3 {
+	if len(files) < 4 {
 		t.Fatalf("found only %d markdown files; the docs tree is missing", len(files))
 	}
 	for _, file := range files {

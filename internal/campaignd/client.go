@@ -14,6 +14,7 @@ import (
 
 	"sharedicache/internal/core"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/tracing"
 )
 
 // ErrLeaseGone reports that a heartbeat arrived after the lease had
@@ -62,11 +63,21 @@ func (rs *RemoteStore) URL() string { return rs.base }
 
 // Get resolves k from the coordinator; any failure is a miss.
 func (rs *RemoteStore) Get(k runstore.Key) (*core.Result, bool) {
-	req, err := http.NewRequestWithContext(rs.ctx, http.MethodGet, rs.base+"/v1/run/"+k.Hex(), nil)
+	return rs.GetCtx(rs.ctx, k)
+}
+
+// GetCtx is Get with a per-call context (the
+// experiments.ContextResultStore extension): the request is bounded by
+// both ctx and the store's lifetime context, and any trace context ctx
+// carries rides the X-Trace-Context header so the coordinator can
+// attribute the lookup in the merged timeline.
+func (rs *RemoteStore) GetCtx(ctx context.Context, k runstore.Key) (*core.Result, bool) {
+	req, err := http.NewRequestWithContext(rs.reqCtx(ctx), http.MethodGet, rs.base+"/v1/run/"+k.Hex(), nil)
 	if err != nil {
 		rs.misses.Add(1)
 		return nil, false
 	}
+	setTraceHeader(req, ctx)
 	resp, err := rs.hc.Do(req)
 	if err != nil {
 		rs.misses.Add(1)
@@ -101,27 +112,35 @@ func (rs *RemoteStore) Get(k runstore.Key) (*core.Result, bool) {
 // Content-Encoding: gzip; the coordinator sniffs the magic, so old
 // plain-JSON publishers keep working.
 func (rs *RemoteStore) Put(k runstore.Key, res *core.Result) error {
+	return rs.PutCtx(rs.ctx, k, res)
+}
+
+// PutCtx is Put with a per-call context, propagating any trace context
+// it carries on the X-Trace-Context header (see GetCtx).
+func (rs *RemoteStore) PutCtx(ctx context.Context, k runstore.Key, res *core.Result) error {
 	plain, err := runstore.Encode(k, res)
 	if err != nil {
 		return err
 	}
 	raw := runstore.Compress(plain)
 	url := rs.base + "/v1/run/" + k.Hex()
+	callCtx := rs.reqCtx(ctx)
 	var last error
 	for attempt := 0; attempt < putAttempts; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-time.After(time.Duration(attempt) * 250 * time.Millisecond):
-			case <-rs.ctx.Done():
-				return fmt.Errorf("campaignd: publish %s: %w", k.Bench, rs.ctx.Err())
+			case <-callCtx.Done():
+				return fmt.Errorf("campaignd: publish %s: %w", k.Bench, callCtx.Err())
 			}
 		}
-		req, err := http.NewRequestWithContext(rs.ctx, http.MethodPut, url, bytes.NewReader(raw))
+		req, err := http.NewRequestWithContext(callCtx, http.MethodPut, url, bytes.NewReader(raw))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("Content-Encoding", "gzip")
+		setTraceHeader(req, ctx)
 		resp, err := rs.hc.Do(req)
 		if err != nil {
 			last = err
@@ -141,6 +160,24 @@ func (rs *RemoteStore) Put(k runstore.Key, res *core.Result) error {
 		}
 	}
 	return fmt.Errorf("campaignd: publish %s: %w", k.Bench, last)
+}
+
+// reqCtx picks the context bounding one request: the per-call context
+// when the caller supplied a real one, the store's lifetime context
+// otherwise (the plain ResultStore methods, and defensive nil calls).
+func (rs *RemoteStore) reqCtx(ctx context.Context) context.Context {
+	if ctx == nil || ctx == context.Background() {
+		return rs.ctx
+	}
+	return ctx
+}
+
+// setTraceHeader stamps a request with ctx's span context, if any, so
+// the receiving coordinator can parent its server-side span correctly.
+func setTraceHeader(req *http.Request, ctx context.Context) {
+	if sc, ok := tracing.FromContext(ctx); ok {
+		req.Header.Set(tracing.Header, sc.String())
+	}
 }
 
 // Stats reports the remote tier's traffic as seen from this client.
@@ -180,11 +217,27 @@ func (c *Client) Campaign(ctx context.Context) (CampaignInfo, error) {
 }
 
 // Lease claims up to max plan points (0 = coordinator's default
-// batch).
+// batch). When the coordinator traces, the grant's TraceContext
+// carries the lease span's X-Trace-Context value for the worker to
+// parent its batch under.
 func (c *Client) Lease(ctx context.Context, worker string, max int) (LeaseGrant, error) {
 	var resp LeaseGrant
-	err := c.call(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: worker, Max: max}, &resp)
+	hdr, err := c.callHeader(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: worker, Max: max}, &resp)
+	if err == nil && hdr != nil {
+		resp.TraceContext = hdr.Get(tracing.Header)
+	}
 	return resp, err
+}
+
+// PushTrace ships a batch of finished spans to the coordinator's
+// trace buffer (POST /v1/trace); an empty batch is a no-op. Callers
+// treat failures as advisory — losing spans must never fail a
+// campaign.
+func (c *Client) PushTrace(ctx context.Context, spans []tracing.Span) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	return c.call(ctx, http.MethodPost, "/v1/trace", spans, nil)
 }
 
 // Renew heartbeats a lease; ErrLeaseGone means it already expired.
@@ -221,43 +274,50 @@ func (c *Client) Index(ctx context.Context) ([]runstore.IndexEntry, error) {
 
 // call performs one JSON request/response round trip.
 func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	_, err := c.callHeader(ctx, method, path, in, out)
+	return err
+}
+
+// callHeader is call, additionally returning the response headers on
+// success (Lease reads the X-Trace-Context grant from them).
+func (c *Client) callHeader(ctx context.Context, method, path string, in, out any) (http.Header, error) {
 	var body io.Reader
 	if in != nil {
 		raw, err := json.Marshal(in)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		body = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
 	if resp.StatusCode == http.StatusGone {
-		return ErrLeaseGone
+		return nil, ErrLeaseGone
 	}
 	if resp.StatusCode >= 300 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("campaignd: %s %s: %s: %s", method, path, resp.Status,
+		return nil, fmt.Errorf("campaignd: %s %s: %s: %s", method, path, resp.Status,
 			strings.TrimSpace(string(msg)))
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("campaignd: %s %s: decode response: %w", method, path, err)
+			return nil, fmt.Errorf("campaignd: %s %s: decode response: %w", method, path, err)
 		}
 	}
-	return nil
+	return resp.Header, nil
 }
 
 // normalizeBase validates and trims the coordinator base URL.

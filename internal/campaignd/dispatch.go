@@ -1,13 +1,16 @@
 package campaignd
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/metrics"
+	"sharedicache/internal/tracing"
 )
 
 // pointState is the dispatch lifecycle of one plan point.
@@ -29,6 +32,11 @@ type lease struct {
 	deadline time.Time
 	granted  time.Time
 	indexes  []int
+	// span is the lease's trace span (nil when tracing is off): opened
+	// at grant, its context rides the X-Trace-Context response header
+	// so the worker's batch spans parent under it, and it ends with an
+	// outcome attribute when the lease completes, forfeits or expires.
+	span *tracing.ActiveSpan
 }
 
 // dispatch is the coordinator's work queue over one campaign plan. All
@@ -65,6 +73,13 @@ type dispatch struct {
 	// pointSec is the EWMA of observed seconds per completed point;
 	// zero until the first lease completes.
 	pointSec float64
+
+	// tracer, when non-nil, records the dispatch-plane spans: a "lease"
+	// span per grant and a completed "enqueue" span per granted point
+	// covering its queue wait. enqueued[i] is when point i last became
+	// leasable (campaign start, or its latest return to the queue).
+	tracer   *tracing.Tracer
+	enqueued []time.Time
 }
 
 // Adaptive batch bounds and tuning.
@@ -91,11 +106,22 @@ func newDispatch(points []experiments.Point, hashes []string, ttl time.Duration,
 		byHash: make(map[string][]int, len(points)),
 		leases: map[string]*lease{},
 	}
+	start := now()
+	d.enqueued = make([]time.Time, len(points))
 	for i := range points {
 		d.done[i] = make(chan struct{})
 		d.byHash[hashes[i]] = append(d.byHash[hashes[i]], i)
+		d.enqueued[i] = start
 	}
 	return d
+}
+
+// endLeaseSpanLocked finishes a lease's span with its outcome
+// ("completed", "forfeited", "expired"). Caller holds d.mu; safe when
+// tracing is off (nil span).
+func endLeaseSpanLocked(l *lease, outcome string) {
+	l.span.SetAttr("outcome", outcome)
+	l.span.End()
 }
 
 // expireLocked returns every overdue lease's unfinished points to the
@@ -109,8 +135,10 @@ func (d *dispatch) expireLocked() {
 		for _, i := range l.indexes {
 			if d.state[i] == pointLeased {
 				d.state[i] = pointPending
+				d.enqueued[i] = now
 			}
 		}
+		endLeaseSpanLocked(l, "expired")
 		delete(d.leases, id)
 		d.expired++
 	}
@@ -205,11 +233,38 @@ func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, dead
 	id = fmt.Sprintf("lease-%d", d.seq)
 	now := d.now()
 	deadline = now.Add(d.ttl)
+	l := &lease{id: id, worker: worker, deadline: deadline, granted: now, indexes: indexes}
+	if d.tracer != nil {
+		// The lease span roots this batch's timeline; each granted
+		// point's queue wait is booked as a completed "enqueue" child.
+		_, l.span = d.tracer.Start(context.Background(), "lease",
+			tracing.A("lease", id),
+			tracing.A("worker", worker),
+			tracing.AInt("points", len(indexes)))
+		for _, i := range indexes {
+			d.tracer.Record("enqueue", l.span.Context(), d.enqueued[i], now,
+				tracing.AInt("point", i),
+				tracing.A("bench", d.points[i].Bench))
+		}
+	}
 	for _, i := range indexes {
 		d.state[i] = pointLeased
 	}
-	d.leases[id] = &lease{id: id, worker: worker, deadline: deadline, granted: now, indexes: indexes}
+	d.leases[id] = l
 	return id, indexes, deadline, false
+}
+
+// LeaseContext returns the trace context of a live lease's span, so
+// the HTTP plane can hand it to the worker in the X-Trace-Context
+// response header; the zero SpanContext when the lease is gone or
+// tracing is off.
+func (d *dispatch) LeaseContext(id string) tracing.SpanContext {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if l, ok := d.leases[id]; ok {
+		return l.span.Context()
+	}
+	return tracing.SpanContext{}
 }
 
 // Renew extends a lease's deadline; it reports false when the lease
@@ -253,15 +308,20 @@ func (d *dispatch) Complete(id string, indexes []int) error {
 	l := d.leases[id]
 	d.observeLocked(l, len(indexes))
 	if l != nil {
+		now := d.now()
 		for _, i := range l.indexes {
 			if d.state[i] == pointLeased {
 				d.state[i] = pointPending
+				d.enqueued[i] = now
 			}
 		}
 		if len(indexes) == 0 {
 			d.forfeited++
+			endLeaseSpanLocked(l, "forfeited")
 		} else {
 			d.completed++
+			l.span.SetAttr("completed", strconv.Itoa(len(indexes)))
+			endLeaseSpanLocked(l, "completed")
 		}
 	}
 	delete(d.leases, id)
@@ -287,10 +347,12 @@ func (d *dispatch) Release(id string, indexes []int) {
 	for _, i := range indexes {
 		drop[i] = true
 	}
+	now := d.now()
 	kept := l.indexes[:0]
 	for _, i := range l.indexes {
 		if drop[i] && d.state[i] == pointLeased {
 			d.state[i] = pointPending
+			d.enqueued[i] = now
 			d.releasedPts++
 			continue
 		}

@@ -34,6 +34,14 @@
 //	POST /v1/renew       heartbeat: extend a lease's deadline
 //	POST /v1/release     return part of a live lease to the queue unrun
 //	POST /v1/complete    report a batch finished, release the lease
+//	GET  /v1/trace       the campaign's merged span timeline as Chrome
+//	                     trace-event JSON (404 unless tracing is on)
+//	POST /v1/trace       workers push their finished spans here
+//
+// With tracing enabled (ServerConfig.Tracer) every lease grant carries
+// an X-Trace-Context response header; workers parent their spans under
+// it and push them back, so GET /v1/trace exports one merged timeline
+// covering queue wait, leases, worker execution and store writes.
 //
 // Workers lease batches in plan order, heartbeat to keep them, publish
 // each result through the store plane, then complete the lease. A
@@ -58,6 +66,7 @@ import (
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/tracing"
 )
 
 // Default dispatch tuning; ServerConfig overrides.
@@ -96,6 +105,14 @@ type ServerConfig struct {
 	// wants scraped, e.g. a co-resident worker's counters) to publish
 	// everything through one endpoint.
 	Metrics *metrics.Registry
+	// Tracer, when non-nil, turns on dispatch-plane tracing: every
+	// lease grant opens a span whose context rides the X-Trace-Context
+	// response header (workers parent their batch spans under it and
+	// push the finished spans back via POST /v1/trace), each granted
+	// point's queue wait is booked as an "enqueue" span, and the merged
+	// timeline is exported as Chrome trace-event JSON at GET /v1/trace.
+	// Nil (the default) disables tracing and both /v1/trace endpoints.
+	Tracer *tracing.Tracer
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -110,6 +127,7 @@ type Server struct {
 	d       *dispatch
 	mux     *http.ServeMux
 	metrics *metrics.Registry
+	tracer  *tracing.Tracer
 }
 
 // CampaignInfo is the dispatch-plane handshake: everything a worker
@@ -143,6 +161,11 @@ type LeaseGrant struct {
 	// Done reports the whole campaign complete; an empty Points with
 	// Done false means "all remaining work is leased, poll again".
 	Done bool
+	// TraceContext is the lease span's "traceID/spanID" context when
+	// the coordinator traces, "" otherwise. It travels in the
+	// X-Trace-Context response header, not the JSON body; Client.Lease
+	// fills it in for the worker.
+	TraceContext string `json:"-"`
 }
 
 type renewRequest struct{ Lease string }
@@ -206,6 +229,8 @@ func New(cfg ServerConfig) (*Server, error) {
 		hashes[i] = cfg.Runner.PointKey(pt).Hex()
 	}
 	s.d = newDispatch(s.points, hashes, cfg.TTL, cfg.Batch, cfg.now)
+	s.tracer = cfg.Tracer
+	s.d.tracer = cfg.Tracer
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
@@ -229,9 +254,14 @@ func New(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
 	s.mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /v1/trace", s.handleGetTrace)
+	s.mux.HandleFunc("POST /v1/trace", s.handlePostTrace)
 	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	return s, nil
 }
+
+// Tracer returns the coordinator's tracer (nil when tracing is off).
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 
 // Handler returns the coordinator's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -329,7 +359,17 @@ func (s *Server) handlePutRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "entry does not verify against its content address", http.StatusBadRequest)
 		return
 	}
-	if err := s.store.Put(k, res); err != nil {
+	// A pushing worker labels the PUT with its trace context, so the
+	// coordinator-side durable write shows up in the merged timeline
+	// under the worker's store.write span.
+	ctx := r.Context()
+	if sc, ok := tracing.ParseContext(r.Header.Get(tracing.Header)); ok {
+		ctx = tracing.ContextWith(ctx, sc)
+	}
+	_, span := s.tracer.Start(ctx, "store.put", tracing.A("hash", hash[:12]))
+	err = s.store.Put(k, res)
+	span.End()
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -374,6 +414,11 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, indexes, _, allDone := s.d.Lease(req.Worker, req.Max)
+	// Hand the worker the lease span's trace context so its batch and
+	// point spans parent under this grant in the merged timeline.
+	if sc := s.d.LeaseContext(id); sc.Valid() {
+		w.Header().Set(tracing.Header, sc.String())
+	}
 	resp := LeaseGrant{Lease: id, TTLMillis: s.d.ttl.Milliseconds(), Done: allDone}
 	for _, i := range indexes {
 		resp.Points = append(resp.Points, LeasedPoint{Index: i, Point: s.points[i]})
@@ -411,6 +456,41 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- trace plane ---
+
+// maxTraceBytes bounds a worker's POST /v1/trace span batch; spans
+// are a few hundred bytes each, so this comfortably covers a full
+// ring buffer.
+const maxTraceBytes = 8 << 20
+
+// handleGetTrace exports the coordinator's merged timeline — its own
+// dispatch spans plus every span workers have pushed — as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled (start the coordinator with -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tracing.WriteChromeTrace(w, s.tracer.Spans())
+}
+
+// handlePostTrace ingests a batch of finished spans from a worker into
+// the coordinator's buffer.
+func (s *Server) handlePostTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled (start the coordinator with -trace)", http.StatusNotFound)
+		return
+	}
+	var spans []tracing.Span
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxTraceBytes)).Decode(&spans); err != nil {
+		http.Error(w, fmt.Sprintf("bad span batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.tracer.Ingest(spans)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand/v2"
 	"os"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/tracing"
 )
 
 // Worker leases batches of design points from a coordinator, simulates
@@ -29,7 +31,14 @@ type Worker struct {
 	Parallelism int
 	// Max bounds points per lease (0 = the coordinator's batch size).
 	Max int
-	// Log receives progress lines; nil means silent.
+	// Logger receives structured progress records (lease grants,
+	// forfeits, heartbeat trouble) with consistent worker/lease fields.
+	// Nil falls back to a default text handler over Log; with both nil
+	// the worker is silent.
+	Logger *slog.Logger
+	// Log is the legacy progress sink: when Logger is nil, a text-
+	// handler slog.Logger is built over it. Nil means silent (unless
+	// Logger is set).
 	Log io.Writer
 	// Metrics receives the worker's lease-plane counters (worker_*) and
 	// is attached to the worker's Runner, so its cache and simulation
@@ -37,11 +46,27 @@ type Worker struct {
 	// the counters still drive WorkerReport-adjacent logging but are
 	// not scraped.
 	Metrics *metrics.Registry
+	// Tracer records the worker's spans (batch, per-point, store I/O).
+	// Nil auto-enables tracing the first time a lease grant carries a
+	// trace context (i.e. the coordinator traces), and the spans are
+	// pushed to the coordinator's POST /v1/trace after each batch for
+	// the merged timeline — distributed tracing needs no worker-side
+	// flag. An explicitly supplied tracer instead belongs to the caller
+	// (the drivers' -trace flag writes it to a local file): its spans
+	// stay buffered here, still sharing the coordinator's trace ID via
+	// the grant's trace context, so local timelines remain mergeable.
+	Tracer *tracing.Tracer
 
 	// backendRegistered overrides the backend-availability check in
 	// tests (which cannot unregister a backend from the process-wide
 	// registry); nil means experiments.BackendRegistered.
 	backendRegistered func(string) bool
+
+	// log, id and tr are the per-Run resolved logger, worker identity
+	// and tracer.
+	log *slog.Logger
+	id  string
+	tr  *tracing.Tracer
 }
 
 // WorkerReport summarises one worker's share of a campaign.
@@ -102,6 +127,16 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 		host, _ := os.Hostname()
 		id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	w.id = id
+	switch {
+	case w.Logger != nil:
+		w.log = w.Logger
+	case w.Log != nil:
+		w.log = slog.New(slog.NewTextHandler(w.Log, nil))
+	default:
+		w.log = slog.New(slog.DiscardHandler)
+	}
+	w.tr = w.Tracer
 
 	info, err := w.handshake(ctx, client)
 	if err != nil {
@@ -119,6 +154,7 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 		reg = metrics.NewRegistry()
 	}
 	runner.SetMetrics(reg)
+	runner.SetTracer(w.tr)
 	m := newWorkerMetrics(reg)
 
 	ttl := time.Duration(info.TTLMillis) * time.Millisecond
@@ -157,7 +193,8 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 			// capable workers claim them first.
 			rep.Forfeited++
 			m.forfeits.Inc()
-			w.logf("lease %s: forfeiting — backend %q not registered in this worker", lr.Lease, missing)
+			w.log.Warn("worker: forfeiting lease — backend not registered in this worker",
+				"worker", id, "lease", lr.Lease, "backend", missing)
 			if err := w.giveBack(ctx, m, "forfeit", lr.Lease, func(ctx context.Context) error {
 				return client.Complete(ctx, lr.Lease, nil)
 			}); err != nil {
@@ -187,8 +224,8 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 					drop = append(drop, lp.Index)
 				}
 			}
-			w.logf("lease %s: releasing %d points needing backend %q",
-				lr.Lease, len(drop), missing)
+			w.log.Info("worker: releasing points needing unavailable backend",
+				"worker", id, "lease", lr.Lease, "points", len(drop), "backend", missing)
 			if err := w.giveBack(ctx, m, "release", lr.Lease, func(ctx context.Context) error {
 				return client.Release(ctx, lr.Lease, drop)
 			}); err != nil {
@@ -198,7 +235,15 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 		}
 		rep.Leases++
 		m.leases.Inc()
-		w.logf("lease %s: %d points", lr.Lease, len(lr.Points))
+		w.log.Info("worker: lease granted", "worker", id, "lease", lr.Lease, "points", len(lr.Points))
+
+		// A grant carrying a trace context means the coordinator traces:
+		// auto-enable worker tracing so its batch joins the merged
+		// timeline without any worker-side flag.
+		if w.tr == nil && lr.TraceContext != "" {
+			w.tr = tracing.New(tracing.Config{Process: "worker-" + id})
+			runner.SetTracer(w.tr)
+		}
 
 		done, lost, err := w.runBatch(ctx, client, runner, store, m, lr, ttl)
 		rep.Points += done
@@ -208,7 +253,7 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 		if lost {
 			rep.LostLeases++
 			m.lostLeases.Inc()
-			w.logf("lease %s expired under us; re-leasing", lr.Lease)
+			w.log.Warn("worker: lease expired under us; re-leasing", "worker", id, "lease", lr.Lease)
 		}
 	}
 }
@@ -232,7 +277,8 @@ func (w *Worker) giveBack(ctx context.Context, m *workerMetrics, what, lease str
 		return ctx.Err()
 	}
 	m.releaseRetries.Inc()
-	w.logf("%s %s: %v; retrying once", what, lease, err)
+	w.log.Warn("worker: queue-returning call failed; retrying once",
+		"worker", w.id, "lease", lease, "call", what, "error", err)
 	select {
 	case <-time.After(releaseBackoff):
 	case <-ctx.Done():
@@ -243,7 +289,8 @@ func (w *Worker) giveBack(ctx context.Context, m *workerMetrics, what, lease str
 			return ctx.Err()
 		}
 		m.releaseFailures.Inc()
-		w.logf("%s %s failed after retry: %v — the points return to the queue at TTL expiry", what, lease, err)
+		w.log.Warn("worker: queue-returning call failed after retry — the points return to the queue at TTL expiry",
+			"worker", w.id, "lease", lease, "call", what, "error", err)
 	}
 	return nil
 }
@@ -309,9 +356,10 @@ func (w *Worker) runBatch(ctx context.Context, client *Client, runner *experimen
 					return
 				default:
 					m.renewFailures.Inc()
-					w.logf("renew %s: %v", lr.Lease, err)
+					w.log.Warn("worker: renew failed", "worker", w.id, "lease", lr.Lease, "error", err)
 					if time.Since(lastOK) > ttl {
-						w.logf("lease %s: renewals failing for over the TTL; abandoning batch", lr.Lease)
+						w.log.Warn("worker: renewals failing for over the TTL; abandoning batch",
+							"worker", w.id, "lease", lr.Lease)
 						close(leaseLost)
 						cancel()
 						return
@@ -329,8 +377,24 @@ func (w *Worker) runBatch(ctx context.Context, client *Client, runner *experimen
 		points[i] = lp.Point
 		indexes[i] = lp.Index
 	}
+	// Adopt the coordinator's lease span as the remote parent, so this
+	// batch — and every point span the runner records under it — lands
+	// in the coordinator's trace, not a disconnected worker-local one.
+	runCtx := batchCtx
+	var batchSpan *tracing.ActiveSpan
+	if w.tr != nil {
+		if sc, ok := tracing.ParseContext(lr.TraceContext); ok {
+			runCtx = tracing.ContextWith(runCtx, sc)
+		}
+		runCtx, batchSpan = w.tr.Start(runCtx, "worker.batch",
+			tracing.A("worker", w.id),
+			tracing.A("lease", lr.Lease),
+			tracing.AInt("points", len(points)))
+	}
 	writesBefore := store.Stats().Writes
-	_, err := runner.Plan(points...).RunAll(batchCtx)
+	_, err := runner.Plan(points...).RunAll(runCtx)
+	batchSpan.End()
+	w.pushSpans(ctx, client)
 	cancel()
 	<-hbStopped
 
@@ -353,9 +417,31 @@ func (w *Worker) runBatch(ctx context.Context, client *Client, runner *experimen
 	// synchronous), so a failed Complete only delays lease release: the
 	// store-plane writes have marked the points done regardless.
 	if err := client.Complete(ctx, lr.Lease, indexes); err != nil && !errors.Is(err, ErrLeaseGone) {
-		w.logf("complete %s: %v (results are already published)", lr.Lease, err)
+		w.log.Warn("worker: complete failed (results are already published)",
+			"worker", w.id, "lease", lr.Lease, "error", err)
 	}
 	return len(points), false, nil
+}
+
+// pushSpans drains the worker's finished spans to the coordinator's
+// trace buffer. Failures are advisory — a campaign must never fail
+// over lost telemetry — and the spans are re-buffered so a later push
+// (or a driver-side -trace export) can still deliver them. A tracer
+// the caller supplied explicitly is never drained: its spans are the
+// caller's to export (see the Tracer field).
+func (w *Worker) pushSpans(ctx context.Context, client *Client) {
+	if w.tr == nil || w.Tracer != nil {
+		return
+	}
+	spans := w.tr.Drain()
+	if len(spans) == 0 {
+		return
+	}
+	if err := client.PushTrace(ctx, spans); err != nil {
+		w.log.Debug("worker: trace push failed; keeping spans buffered",
+			"worker", w.id, "spans", len(spans), "error", err)
+		w.tr.Ingest(spans)
+	}
 }
 
 // handshakeBudget bounds the total time handshake spends retrying —
@@ -418,12 +504,6 @@ func (w *Worker) lease(ctx context.Context, client *Client, id string) (LeaseGra
 		last = err
 	}
 	return LeaseGrant{}, fmt.Errorf("campaignd: lease: %w", last)
-}
-
-func (w *Worker) logf(format string, args ...any) {
-	if w.Log != nil {
-		fmt.Fprintf(w.Log, "worker: "+format+"\n", args...)
-	}
 }
 
 func clamp(d, lo, hi time.Duration) time.Duration {

@@ -7,6 +7,7 @@ import (
 
 	"sharedicache/internal/core"
 	"sharedicache/internal/synth"
+	"sharedicache/internal/tracing"
 )
 
 // Point is one design point of a campaign plan: a benchmark run on one
@@ -132,8 +133,11 @@ func fanOut(ctx context.Context, n, workers int, fn func(ctx context.Context, i 
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
+			// Label the goroutine-pool slot so spans recorded under this
+			// worker render on their own timeline row (Chrome-trace tid).
+			ctx := tracing.WithSlot(ctx, slot)
 			for i := range jobs {
 				if err := fn(ctx, i); err != nil {
 					mu.Lock()
@@ -144,7 +148,7 @@ func fanOut(ctx context.Context, n, workers int, fn func(ctx context.Context, i 
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := 0; i < n; i++ {

@@ -27,6 +27,7 @@ import (
 	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/synth"
+	"sharedicache/internal/tracing"
 )
 
 // Options scales a whole experiment campaign.
@@ -174,6 +175,12 @@ type Runner struct {
 	// metrics, when attached with SetMetrics, receives the cache-tier
 	// and simulation counters; nil leaves the runner unobserved.
 	metrics *metrics.Registry
+
+	// tracer, when attached with SetTracer, records one span per
+	// executed design point with children for the store lookup, the
+	// backend execution and the write-back; nil (the default) records
+	// nothing and costs a few nil checks.
+	tracer *tracing.Tracer
 }
 
 // runKey identifies one design point in the memory cache tier. The
@@ -308,6 +315,26 @@ func (r *Runner) SetMetrics(reg *metrics.Registry) {
 	r.mu.Lock()
 	r.metrics = reg
 	r.mu.Unlock()
+}
+
+// SetTracer attaches a span tracer. Each design point the runner
+// actually resolves past the memory tier then records a "point" span
+// (attrs: bench, backend, org, cpc, prewarm) with "store.lookup",
+// "backend.execute" and "store.write" children, parented under
+// whatever span context the caller's ctx carries — locally a refine
+// phase span, in a worker the coordinator's lease span. Attach before
+// running plans; a nil tracer detaches.
+func (r *Runner) SetTracer(tr *tracing.Tracer) {
+	r.mu.Lock()
+	r.tracer = tr
+	r.mu.Unlock()
+}
+
+// Tracer returns the attached tracer, or nil.
+func (r *Runner) Tracer() *tracing.Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
 }
 
 // countCache books one cache-tier event on the attached registry.
@@ -449,10 +476,23 @@ func (r *Runner) simulate(ctx context.Context, backend, bench string, cfg core.C
 	e := &runEntry{done: make(chan struct{})}
 	r.runs[key] = e
 	st := r.store
+	tr := r.tracer
 	r.mu.Unlock()
 	r.countCache("memory", false)
 
-	e.res, e.err = r.executeOrLoad(ctx, st, backend, bench, cfg, prewarm)
+	// The leader records the point span; memory-tier followers share
+	// the leader's result and record nothing.
+	pctx, span := tr.Start(ctx, "point",
+		tracing.A("bench", bench),
+		tracing.A("backend", backend),
+		tracing.A("org", fmt.Sprint(cfg.Organization)),
+		tracing.AInt("cpc", cfg.CPC),
+		tracing.A("prewarm", fmt.Sprint(prewarm)))
+	e.res, e.err = r.executeOrLoad(pctx, tr, st, backend, bench, cfg, prewarm)
+	if e.err != nil {
+		span.SetAttr("error", e.err.Error())
+	}
+	span.End()
 	if e.err != nil {
 		// Drop failed entries so a later call can retry; waiters already
 		// holding the entry still observe the error.
@@ -466,24 +506,62 @@ func (r *Runner) simulate(ctx context.Context, backend, bench string, cfg core.C
 	return e.res, e.err
 }
 
+// ContextResultStore is the optional per-call-context extension of
+// ResultStore: stores that carry requests over the network implement
+// it so each lookup and write can propagate the caller's trace
+// context (the X-Trace-Context header on the campaign store plane).
+// The runner type-asserts and prefers these methods when present;
+// plain stores (the on-disk runstore.Store) need not care.
+type ContextResultStore interface {
+	GetCtx(context.Context, runstore.Key) (*core.Result, bool)
+	PutCtx(context.Context, runstore.Key, *core.Result) error
+}
+
+// storeGet dispatches a store lookup, threading ctx when the store
+// accepts it.
+func storeGet(ctx context.Context, st ResultStore, key runstore.Key) (*core.Result, bool) {
+	if cs, ok := st.(ContextResultStore); ok {
+		return cs.GetCtx(ctx, key)
+	}
+	return st.Get(key)
+}
+
+// storePut dispatches a store write-back, threading ctx when the
+// store accepts it.
+func storePut(ctx context.Context, st ResultStore, key runstore.Key, res *core.Result) error {
+	if cs, ok := st.(ContextResultStore); ok {
+		return cs.PutCtx(ctx, key, res)
+	}
+	return st.Put(key, res)
+}
+
 // executeOrLoad resolves a memory-tier miss: disk first when a store
 // is attached, then the selected backend with a write-back. A persist
 // failure is surfaced as an error — a sharded campaign whose shards
 // cannot see each other's results is broken, not degraded.
-func (r *Runner) executeOrLoad(ctx context.Context, st ResultStore, backend, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+func (r *Runner) executeOrLoad(ctx context.Context, tr *tracing.Tracer, st ResultStore, backend, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
 	if st != nil {
-		if res, ok := st.Get(r.storeKey(backend, bench, cfg, prewarm)); ok {
+		lctx, lookup := tr.Start(ctx, "store.lookup")
+		res, ok := storeGet(lctx, st, r.storeKey(backend, bench, cfg, prewarm))
+		lookup.SetAttr("hit", fmt.Sprint(ok))
+		lookup.End()
+		if ok {
 			r.countCache("store", true)
 			return res, nil
 		}
 		r.countCache("store", false)
 	}
-	res, err := r.execute(ctx, backend, bench, cfg, prewarm)
+	ectx, exec := tr.Start(ctx, "backend.execute", tracing.A("backend", backend))
+	res, err := r.execute(ectx, backend, bench, cfg, prewarm)
+	exec.End()
 	if err != nil {
 		return nil, err
 	}
 	if st != nil {
-		if err := st.Put(r.storeKey(backend, bench, cfg, prewarm), res); err != nil {
+		wctx, write := tr.Start(ctx, "store.write")
+		err := storePut(wctx, st, r.storeKey(backend, bench, cfg, prewarm), res)
+		write.End()
+		if err != nil {
 			return nil, fmt.Errorf("persist result: %w", err)
 		}
 		r.countWrite()

@@ -1,0 +1,20 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ on mux, next to whatever the mux already serves
+// (GET /metrics in the drivers). It is deliberately opt-in — the
+// drivers' -pprof flag — because the endpoints expose goroutine dumps
+// and CPU profiles: invaluable when a campaign is mysteriously slow,
+// but nothing an unattended listener should volunteer.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsSampler memoizes runtime.ReadMemStats so that a scrape of
+// several func-backed gauges costs one stop-the-world sample, and
+// rapid scrapes (or several gauges read in one exposition pass) reuse
+// it for memStatsMaxAge.
+type memStatsSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+const memStatsMaxAge = 100 * time.Millisecond
+
+func (s *memStatsSampler) read() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.at) > memStatsMaxAge {
+		runtime.ReadMemStats(&s.stat)
+		s.at = now
+	}
+	return s.stat
+}
+
+// RegisterRuntime registers func-backed Go runtime health gauges
+// (goroutine count, heap allocation, cumulative GC pause) on the
+// registry, sampled at scrape time. Safe to call more than once on
+// the same registry: func-backed instruments re-register by replacing
+// the callback.
+func RegisterRuntime(r *Registry) {
+	sampler := &memStatsSampler{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(sampler.read().HeapAlloc) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time in seconds.",
+		func() float64 { return time.Duration(sampler.read().PauseTotalNs).Seconds() })
+}

@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	RegisterRuntime(r) // double registration must replace, not panic
+
+	if v, ok := r.Value("go_goroutines"); !ok || v < 1 {
+		t.Errorf("go_goroutines = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := r.Value("go_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, %v; want > 0", v, ok)
+	}
+	if v, ok := r.Value("go_gc_pause_seconds_total"); !ok || v < 0 {
+		t.Errorf("go_gc_pause_seconds_total = %v, %v; want >= 0", v, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_heap_alloc_bytes gauge",
+		"# TYPE go_gc_pause_seconds_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -42,10 +42,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/sweep"
+	"sharedicache/internal/tracing"
 )
 
 // Backend names the pipeline pins. The triage phase always runs the
@@ -89,6 +91,11 @@ type Config struct {
 	// Log, when non-nil, receives the pipeline's accounting lines
 	// (calibration fit or reuse, triage size, frontier size).
 	Log io.Writer
+	// Tracer, when non-nil, wraps the pipeline's phases in spans
+	// ("refine.calibrate", "refine.triage", "refine.select") under
+	// which the Runner's per-point spans parent, so a trace shows where
+	// a refine campaign's wall-clock goes. Nil traces nothing.
+	Tracer *tracing.Tracer
 }
 
 // Result is a prepared auto-refine campaign: the mixed plan, the
@@ -185,19 +192,23 @@ func Prepare(ctx context.Context, cfg Config) (*Result, error) {
 		SelectorName: cfg.Selector.Name(),
 	}
 	detBefore := r.BackendRuns()[backendDetailed]
+	calCtx, calSpan := cfg.Tracer.Start(ctx, "refine.calibrate", tracing.AInt("golden_rows", len(golden)))
 	if cal, ok := LoadFit(cfg.Store, fp); ok {
 		out.Calibration, out.CalibrationReused = cal, true
+		calSpan.SetAttr("reused", "true")
 		fmt.Fprintf(log, "refine: calibration reused stored fit (fingerprint %.12s, 0 golden simulations)\n", fp)
 	} else {
 		// Note staleness before SaveFit replaces the artifact slot.
 		if stale, ok := staleFingerprint(cfg.Store, fp); ok {
 			fmt.Fprintf(log, "refine: stored fit is stale (fingerprint %.12s, want %.12s), recalibrating\n", stale, fp)
 		}
-		cal, err := calibrate(ctx, r, gplan, grefs, rows, fp)
+		cal, err := calibrate(calCtx, r, gplan, grefs, rows, fp)
 		if err != nil {
+			calSpan.End()
 			return nil, err
 		}
 		if err := SaveFit(cfg.Store, cal); err != nil {
+			calSpan.End()
 			return nil, err
 		}
 		out.Calibration = cal
@@ -207,17 +218,22 @@ func Prepare(ctx context.Context, cfg Config) (*Result, error) {
 			cal.TimeRatio.A, cal.TimeRatio.B, cal.TimeRatio.RMSE,
 			cal.EnergyRatio.A, cal.EnergyRatio.B, cal.EnergyRatio.RMSE)
 	}
+	calSpan.End()
 
 	// --- phase 2: triage + frontier selection -------------------------
-	results, err := plan.RunAll(ctx)
+	triCtx, triSpan := cfg.Tracer.Start(ctx, "refine.triage", tracing.AInt("rows", len(rows)))
+	results, err := plan.RunAll(triCtx)
+	triSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("refine: triage pass: %w", err)
 	}
+	_, selSpan := cfg.Tracer.Start(ctx, "refine.select", tracing.A("selector", cfg.Selector.Name()))
 	eval := sweep.NewEvaluator(workers)
 	cands := make([]Candidate, len(rows))
 	for i, row := range rows {
 		m, err := eval.Metrics(row, results[row.BaseIdx], results[row.PointIdx])
 		if err != nil {
+			selSpan.End()
 			return nil, fmt.Errorf("refine: triage metrics for %s cpc=%d: %w", row.Bench, row.CPC, err)
 		}
 		out.Calibration.Apply(&m)
@@ -225,8 +241,11 @@ func Prepare(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	frontier, err := cfg.Selector.Select(cands)
 	if err != nil {
+		selSpan.End()
 		return nil, err
 	}
+	selSpan.SetAttr("frontier", strconv.Itoa(len(frontier)))
+	selSpan.End()
 	if err := validateFrontier(frontier, len(cands)); err != nil {
 		return nil, err
 	}

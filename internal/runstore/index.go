@@ -77,7 +77,12 @@ const tmpGrace = time.Hour
 // removed.
 func (s *Store) GC() (removed int, err error) {
 	s.gcSweeps.Add(1)
-	defer func() { s.gcRemoved.Add(int64(removed)) }()
+	defer func() {
+		s.gcRemoved.Add(int64(removed))
+		if l := s.logger.Load(); l != nil && removed > 0 {
+			l.Info("runstore: gc removed untrusted files", "removed", removed, "dir", s.dir)
+		}
+	}()
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
 		return 0, err

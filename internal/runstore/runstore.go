@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -126,6 +127,25 @@ type Store struct {
 
 	hits, misses, writes, bad atomic.Int64
 	gcSweeps, gcRemoved       atomic.Int64
+
+	// logger, when set, receives structured lines for events the
+	// corruption-as-miss contract would otherwise swallow silently (bad
+	// entries, GC removals). Nil logs nothing.
+	logger atomic.Pointer[slog.Logger]
+}
+
+// SetLogger attaches a structured logger for the store's
+// otherwise-silent events: a Get/GetRaw that finds a file it cannot
+// trust (counted as a bad entry and a miss) logs a warning naming the
+// entry, and each GC sweep that removes files logs a summary. A nil
+// logger detaches.
+func (s *Store) SetLogger(l *slog.Logger) { s.logger.Store(l) }
+
+// logBadEntry reports one untrustworthy on-disk entry.
+func (s *Store) logBadEntry(name string) {
+	if l := s.logger.Load(); l != nil {
+		l.Warn("runstore: untrusted entry treated as miss", "entry", name, "dir", s.dir)
+	}
 }
 
 // Open creates the directory if needed and returns a store over it.
@@ -285,6 +305,7 @@ func (s *Store) Get(k Key) (*core.Result, bool) {
 	}
 	s.bad.Add(1)
 	s.misses.Add(1)
+	s.logBadEntry(k.Hex() + entrySuffix)
 	return nil, false
 }
 
@@ -308,6 +329,7 @@ func (s *Store) GetRaw(hash string) ([]byte, bool) {
 	if k, _, ok := DecodeEntry(raw); !ok || k.Hex() != hash {
 		s.bad.Add(1)
 		s.misses.Add(1)
+		s.logBadEntry(hash + entrySuffix)
 		return nil, false
 	}
 	s.hits.Add(1)

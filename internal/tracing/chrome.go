@@ -1,0 +1,100 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (catapult's "Trace Event Format"): a complete ("X") event per span,
+// plus process_name metadata ("M") events naming the pids. Metadata
+// events carry Ts/Dur of 0 so downstream validators can require every
+// event to have ph/ts/dur/name.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object chrome://tracing and
+// Perfetto load.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON. Each
+// distinct Span.Proc becomes a numbered pid (ordered by first
+// appearance in the earliest-start-first event stream, so the
+// coordinator — whose enqueue spans start first — is pid 1) with a
+// process_name metadata event; Span.Slot is the tid. Span attributes,
+// IDs and parent links land in args so Perfetto's span details show
+// the full chain.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+
+	pids := make(map[string]int)
+	events := make([]chromeEvent, 0, len(ordered)+4)
+	for _, sp := range ordered {
+		pid, ok := pids[sp.Proc]
+		if !ok {
+			pid = len(pids) + 1
+			pids[sp.Proc] = pid
+			events = append(events, chromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  pid,
+				Args: map[string]string{"name": sp.Proc},
+			})
+		}
+		args := make(map[string]string, len(sp.Attrs)+3)
+		args["trace"] = sp.TraceID
+		args["span"] = sp.SpanID
+		if sp.ParentID != "" {
+			args["parent"] = sp.ParentID
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   sp.Start,
+			Dur:  sp.Dur,
+			Pid:  pid,
+			Tid:  sp.Slot,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayUnit: "ms"}); err != nil {
+		return fmt.Errorf("tracing: write chrome trace: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes tr's buffered spans to path as a Chrome trace-event
+// JSON file (the drivers' -trace flag) and reports how many spans it
+// exported. A nil tracer writes an empty but well-formed trace, so the
+// file always loads in Perfetto.
+func WriteFile(path string, tr *Tracer) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	spans := tr.Spans()
+	if err := WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return len(spans), f.Close()
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_snapshot.sh [OUT.json] — run the repo's two headline benchmarks
+# (BenchmarkSweepBackends, BenchmarkCampaignParallel) once each and
+# snapshot the results as JSON, so perf regressions are diffable across
+# PRs instead of anecdotal. The committed snapshots live at the repo
+# root (BENCH_<pr>.json).
+#
+# The numbers are machine-dependent; a snapshot is comparable to the
+# machine and ratio within it (detailed vs analytical, par=1 vs par=4),
+# not to other hosts.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_7.json}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^(BenchmarkSweepBackends|BenchmarkCampaignParallel)$' \
+	-benchtime 1x -timeout 30m . | tee "$raw" >&2
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	printf '  "benchmarks": [\n'
+	# Each result line is: Name-<procs> N <value> <unit> [<value> <unit>]...
+	awk '/^Benchmark/ {
+		line = sep; sep = ",\n"
+		line = line sprintf("    {\"name\":\"%s\",\"iterations\":%s", $1, $2)
+		for (i = 3; i + 1 <= NF; i += 2)
+			line = line sprintf(",\"%s\":%s", $(i+1), $i)
+		printf "%s}", line
+	} END { print "" }' "$raw"
+	printf '  ]\n}\n'
+} > "$out"
+echo "bench snapshot written to $out" >&2

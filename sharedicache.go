@@ -49,10 +49,14 @@
 //     ground truth on a golden slice, triage the full space
 //     analytically, and re-plan the frontier a FrontierSelector picks
 //     onto the detailed backend (see docs/REFINE.md).
-//   - MetricsRegistry (internal/metrics) is the observability layer:
-//     runner cache tiers, store traffic and lease health all register
-//     on one registry, served in Prometheus text form at the
-//     coordinator's GET /metrics (see docs/ARCHITECTURE.md).
+//   - MetricsRegistry (internal/metrics) and Tracer (internal/tracing)
+//     are the observability layer: runner cache tiers, store traffic
+//     and lease health all register on one registry, served in
+//     Prometheus text form at the coordinator's GET /metrics, while a
+//     Tracer records per-point span timelines — propagated across the
+//     campaign's HTTP planes so worker spans parent under coordinator
+//     lease spans — exported as Chrome trace-event JSON for Perfetto
+//     (see docs/OBSERVABILITY.md).
 //   - Tech / Cluster wrap the McPAT/CACTI-style area & energy model
 //     (internal/power).
 //   - CMPDesign wraps the Hill-Marty speedup model (internal/amdahl).
@@ -74,6 +78,7 @@ import (
 	"sharedicache/internal/sweep"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
+	"sharedicache/internal/tracing"
 )
 
 // Simulator runs one workload on one ACMP configuration (single use).
@@ -242,6 +247,30 @@ type MetricsRegistry = metrics.Registry
 
 // NewMetricsRegistry builds an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Tracer records bounded in-memory span timelines; attach one to a
+// Runner with SetTracer, a CampaignServer via its config, or a
+// CampaignWorker via its Tracer field. All methods are no-ops on a nil
+// Tracer, so instrumented code needs no branches and tracing stays off
+// by default. See docs/OBSERVABILITY.md.
+type Tracer = tracing.Tracer
+
+// TracerConfig assembles a Tracer: its process name, buffer capacity
+// and optional slog sink for finished spans.
+type TracerConfig = tracing.Config
+
+// TraceSpan is one finished span: trace/span/parent IDs, process,
+// microsecond start and duration, and free-form attributes.
+type TraceSpan = tracing.Span
+
+// NewTracer builds a span recorder with a fresh trace ID.
+func NewTracer(cfg TracerConfig) *Tracer { return tracing.New(cfg) }
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON, loadable
+// in Perfetto (processes become pids, engine worker slots become tids).
+func WriteChromeTrace(w io.Writer, spans []TraceSpan) error {
+	return tracing.WriteChromeTrace(w, spans)
+}
 
 // DesignSpace enumerates the swept design-space axes shared by
 // cmd/sweep and cmd/campaignd; Build declares it on a Runner as a
