@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/sweep"
 )
 
@@ -315,6 +316,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 func BenchmarkSweepBackends(b *testing.B) {
 	for _, backend := range []string{"detailed", "analytical"} {
 		b.Run("backend="+backend, func(b *testing.B) {
+			var rate float64
 			for i := 0; i < b.N; i++ {
 				opts := experiments.DefaultOptions()
 				opts.Instructions = 60_000
@@ -324,6 +326,8 @@ func BenchmarkSweepBackends(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				col := simreport.NewCollector()
+				r.SetReporter(col)
 				space := sweep.Space{
 					Benches: benchBenchmarks,
 					CPCs:    []int{2, 4, 8}, SizesKB: []int{16, 32},
@@ -341,8 +345,15 @@ func BenchmarkSweepBackends(b *testing.B) {
 				if by := r.BackendRuns(); backend == "analytical" && by["detailed"] != 0 {
 					b.Fatalf("analytical sweep fell back to %d detailed simulations", by["detailed"])
 				}
+				if got := col.Len(); got != plan.Len() {
+					b.Fatalf("collected %d reports over %d points", got, plan.Len())
+				}
+				rate = col.Summary().Backends[0].SimCyclesPerSecond.Mean
 				b.ReportMetric(float64(plan.Len()), "points")
 			}
+			// The perf-trajectory headline BENCH_<pr>.json snapshots:
+			// mean simulated cycles per wall second over the space.
+			b.ReportMetric(rate, "sim-cycles/sec")
 		})
 	}
 }

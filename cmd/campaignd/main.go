@@ -53,6 +53,7 @@ import (
 	"sharedicache/internal/metrics"
 	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/sweep"
 	"sharedicache/internal/tracing"
 )
@@ -64,16 +65,17 @@ func main() {
 	sf := sweep.RegisterFlags(flag.CommandLine)
 	rf := refine.RegisterFlags(flag.CommandLine)
 	var (
-		addr     = flag.String("addr", ":8417", "listen address for the store and dispatch planes")
-		storeDir = flag.String("store", "", "run-store directory backing the store plane (required)")
-		join     = flag.String("join", "", "run as a worker against the coordinator at this URL instead of serving")
-		ttl      = flag.Duration("ttl", campaignd.DefaultTTL, "lease TTL; a worker missing heartbeats this long forfeits its batch")
-		batch    = flag.Int("lease-batch", 0, "max design points per lease; 0 derives the batch from the observed mean point latency")
-		grace    = flag.Duration("grace", 2*time.Second, "keep serving this long after completion so polling workers see the campaign finish")
-		par      = flag.Int("par", 0, "worker mode: max concurrent simulations (0 = GOMAXPROCS)")
-		id       = flag.String("id", "", "worker mode: worker name in leases (default host-pid)")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (coordinator mode also serves it at GET /v1/trace)")
-		pprofOn  = flag.Bool("pprof", false, "coordinator mode: also serve net/http/pprof under /debug/pprof/ on -addr")
+		addr      = flag.String("addr", ":8417", "listen address for the store and dispatch planes")
+		storeDir  = flag.String("store", "", "run-store directory backing the store plane (required)")
+		join      = flag.String("join", "", "run as a worker against the coordinator at this URL instead of serving")
+		ttl       = flag.Duration("ttl", campaignd.DefaultTTL, "lease TTL; a worker missing heartbeats this long forfeits its batch")
+		batch     = flag.Int("lease-batch", 0, "max design points per lease; 0 derives the batch from the observed mean point latency")
+		grace     = flag.Duration("grace", 2*time.Second, "keep serving this long after completion so polling workers see the campaign finish")
+		par       = flag.Int("par", 0, "worker mode: max concurrent simulations (0 = GOMAXPROCS)")
+		id        = flag.String("id", "", "worker mode: worker name in leases (default host-pid)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (coordinator mode also serves it at GET /v1/trace)")
+		reportOut = flag.String("report", "", "write per-point simulation telemetry as JSON to this file at exit (coordinator mode collects the workers' reports and serves GET /v1/simstatsz)")
+		pprofOn   = flag.Bool("pprof", false, "coordinator mode: also serve net/http/pprof under /debug/pprof/ on -addr")
 	)
 	flag.Parse()
 
@@ -93,12 +95,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "campaignd: trace: %d spans written to %s (%s)\n", n, *traceOut, proc)
 	}
 
+	// -report: collect per-point simulation telemetry and write it as
+	// JSON at exit. In worker mode the collector stays local (an
+	// explicit collector is never pushed to the coordinator); in
+	// coordinator mode it aggregates the workers' pushed reports and
+	// backs GET /v1/simstatsz.
+	var reporter *simreport.Collector
+	if *reportOut != "" {
+		reporter = simreport.NewCollector()
+	}
+	writeReport := func(proc string) {
+		n, err := simreport.WriteFile(*reportOut, reporter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaignd: report:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "campaignd: report: %d reports written to %s (%s)\n", n, *reportOut, proc)
+	}
+
 	// -join: thin worker mode, identical to `sweep -remote URL -worker`.
 	if *join != "" {
 		if *traceOut != "" {
 			tracer = tracing.New(tracing.Config{Process: "worker"})
 		}
-		w := campaignd.Worker{URL: *join, ID: *id, Parallelism: *par, Log: os.Stderr, Tracer: tracer}
+		w := campaignd.Worker{URL: *join, ID: *id, Parallelism: *par, Log: os.Stderr, Tracer: tracer, Reports: reporter}
 		rep, err := w.Run(ctx)
 		if err != nil {
 			fatal(err)
@@ -107,6 +127,9 @@ func main() {
 			rep.Points, rep.Leases, rep.LostLeases, rep.Forfeited, rep.Simulations, rep.Store.Hits)
 		if *traceOut != "" {
 			writeTrace("worker")
+		}
+		if *reportOut != "" {
+			writeReport("worker")
 		}
 		return
 	}
@@ -142,6 +165,12 @@ func main() {
 	if *traceOut != "" {
 		tracer = tracing.New(tracing.Config{Process: "coordinator"})
 		runner.SetTracer(tracer)
+	}
+	if reporter != nil {
+		// Any simulations the coordinator itself runs (refine prep's
+		// calibration and triage) report into the same collector the
+		// workers push to.
+		runner.SetReporter(reporter)
 	}
 
 	space, err := sf.Space()
@@ -184,6 +213,7 @@ func main() {
 	srv, err := campaignd.New(campaignd.ServerConfig{
 		Runner: runner, Store: store, Points: plan.Points(),
 		TTL: *ttl, Batch: *batch, Metrics: reg, Tracer: tracer,
+		Reports: reporter,
 	})
 	if err != nil {
 		fatal(err)
@@ -212,7 +242,7 @@ func main() {
 	}
 	logger.Info("campaignd: serving",
 		"addr", ln.Addr().String(), "points", plan.Len(), "in_store", pre,
-		"ttl", *ttl, "batch", batchDesc, "pprof", *pprofOn, "trace", *traceOut != "")
+		"ttl", *ttl, "batch", batchDesc, "pprof", *pprofOn, "trace", *traceOut != "", "report", *reportOut != "")
 
 	// Merge: stream results in plan order as workers publish them —
 	// EmitStream is the same emission loop a single-process sweep runs,
@@ -260,6 +290,11 @@ func main() {
 	httpSrv.Shutdown(shutCtx)
 	if *traceOut != "" {
 		writeTrace("coordinator")
+	}
+	if *reportOut != "" {
+		// Like the trace, the report writes after the grace window so the
+		// final worker pushes are in it.
+		writeReport("coordinator")
 	}
 }
 

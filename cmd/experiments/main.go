@@ -28,6 +28,7 @@ import (
 
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/sweep"
 	"sharedicache/internal/tracing"
 )
@@ -47,6 +48,7 @@ func main() {
 		store   = flag.String("store", "", "persistent run-store directory (second cache tier)")
 		storeop = flag.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit")
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)")
+		report  = flag.String("report", "", "write per-point simulation telemetry (stall stacks, cache/bus stats, host cost) as JSON to this file at exit")
 		stream  = flag.Bool("stream", true, "render supporting figures row-by-row as points complete (text format)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -97,6 +99,21 @@ func main() {
 				return
 			}
 			fmt.Fprintf(os.Stderr, "experiments: trace: %d spans written to %s\n", n, *trace)
+		}()
+	}
+	// -report: one microarchitectural report per executed (or
+	// store-replayed) design point, written with the campaign summary as
+	// JSON at exit.
+	if *report != "" {
+		col := simreport.NewCollector()
+		runner.SetReporter(col)
+		defer func() {
+			n, err := simreport.WriteFile(*report, col)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: report:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "experiments: report: %d reports written to %s\n", n, *report)
 		}()
 	}
 	var st *runstore.Store

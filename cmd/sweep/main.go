@@ -73,6 +73,7 @@ import (
 	"sharedicache/internal/metrics"
 	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/sweep"
 	"sharedicache/internal/tracing"
 )
@@ -93,6 +94,7 @@ type cliFlags struct {
 	storeop  *string
 	metrics  *string
 	trace    *string
+	report   *string
 	pprof    *bool
 }
 
@@ -113,6 +115,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		storeop:  fs.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit"),
 		metrics:  fs.String("metrics", "", "serve Prometheus text metrics at this address (GET /metrics) for the run's duration"),
 		trace:    fs.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)"),
+		report:   fs.String("report", "", "write per-point simulation telemetry (stall stacks, cache/bus stats, host cost) as JSON to this file at exit"),
 		pprof:    fs.Bool("pprof", false, "with -metrics: also serve net/http/pprof under /debug/pprof/ on the metrics address"),
 	}
 }
@@ -181,14 +184,33 @@ func main() {
 		}()
 	}
 
+	// -report: collect a per-point microarchitectural report for every
+	// executed or store-replayed design point and write the collection
+	// (reports plus campaign summary) as JSON at exit. As with -trace,
+	// fatal() skips the export.
+	var reporter *simreport.Collector
+	if *cf.report != "" {
+		reporter = simreport.NewCollector()
+		defer func() {
+			n, err := simreport.WriteFile(*cf.report, reporter)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: report:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "sweep: report: %d reports written to %s\n", n, *cf.report)
+		}()
+	}
+
 	if *cf.worker {
 		// Worker mode: the campaign (benchmarks, axes, budgets) is the
 		// coordinator's; every design-space flag of this process is
-		// ignored so keys cannot disagree.
+		// ignored so keys cannot disagree. A -report collector stays
+		// local: the worker writes its own file instead of pushing to
+		// the coordinator.
 		if *cf.remote == "" {
 			fatal(errors.New("-worker requires -remote URL"))
 		}
-		w := campaignd.Worker{URL: *cf.remote, Parallelism: *cf.par, Log: os.Stderr, Metrics: reg, Tracer: tracer}
+		w := campaignd.Worker{URL: *cf.remote, Parallelism: *cf.par, Log: os.Stderr, Metrics: reg, Tracer: tracer, Reports: reporter}
 		rep, err := w.Run(ctx)
 		if err != nil {
 			fatal(err)
@@ -209,6 +231,9 @@ func main() {
 	}
 	runner.SetMetrics(reg)
 	runner.SetTracer(tracer)
+	if reporter != nil {
+		runner.SetReporter(reporter)
+	}
 
 	// The persistent tier is either a local directory or a coordinator's
 	// store plane; the runner is oblivious to which.

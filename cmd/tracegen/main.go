@@ -13,23 +13,27 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
+	"sharedicache/internal/tracing"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "FT", "benchmark name")
-		n       = flag.Uint64("n", 1_000_000, "master-thread instruction budget")
-		workers = flag.Int("workers", 8, "worker core count")
-		seed    = flag.Uint64("seed", 1, "synthesis seed")
-		out     = flag.String("out", ".", "output directory")
-		verify  = flag.Bool("verify", true, "read files back and compare record counts")
+		bench    = flag.String("bench", "FT", "benchmark name")
+		n        = flag.Uint64("n", 1_000_000, "master-thread instruction budget")
+		workers  = flag.Int("workers", 8, "worker core count")
+		seed     = flag.Uint64("seed", 1, "synthesis seed")
+		out      = flag.String("out", ".", "output directory")
+		verify   = flag.Bool("verify", true, "read files back and compare record counts")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)")
 	)
 	flag.Parse()
 
@@ -45,21 +49,47 @@ func main() {
 		fatal(err)
 	}
 
+	// -trace: a root span over the whole generation with one child span
+	// per thread file, written as Chrome trace-event JSON at exit.
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.Config{Process: "tracegen"})
+		defer func() {
+			n, err := tracing.WriteFile(*traceOut, tracer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen: trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "tracegen: trace: %d spans written to %s\n", n, *traceOut)
+		}()
+	}
+	ctx, root := tracer.Start(context.Background(), "generate",
+		tracing.A("bench", *bench),
+		tracing.AInt("threads", w.NumThreads()))
+	defer root.End()
+
 	for t := 0; t < w.NumThreads(); t++ {
 		path := filepath.Join(*out, fmt.Sprintf("%s.t%02d.trace", *bench, t))
+		_, span := tracer.Start(ctx, "thread", tracing.AInt("thread", t))
 		count, instr, err := writeThread(path, w.Source(t))
 		if err != nil {
+			span.End()
 			fatal(err)
 		}
 		if *verify {
 			got, err := countRecords(path)
 			if err != nil {
+				span.End()
 				fatal(fmt.Errorf("verify %s: %w", path, err))
 			}
 			if got != count {
+				span.End()
 				fatal(fmt.Errorf("verify %s: wrote %d records, read back %d", path, count, got))
 			}
 		}
+		span.SetAttr("records", strconv.FormatUint(count, 10))
+		span.SetAttr("instructions", strconv.FormatUint(instr, 10))
+		span.End()
 		fmt.Printf("%s: %d records, %d instructions\n", path, count, instr)
 	}
 }

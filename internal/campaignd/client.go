@@ -14,6 +14,7 @@ import (
 
 	"sharedicache/internal/core"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/tracing"
 )
 
@@ -238,6 +239,25 @@ func (c *Client) PushTrace(ctx context.Context, spans []tracing.Span) error {
 		return nil
 	}
 	return c.call(ctx, http.MethodPost, "/v1/trace", spans, nil)
+}
+
+// PushReports ships a batch of per-point simulation reports to the
+// coordinator's collector (POST /v1/simreport); an empty batch is a
+// no-op. As with PushTrace, failures are advisory — lost telemetry
+// must never fail a campaign.
+func (c *Client) PushReports(ctx context.Context, reports []simreport.Report) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	return c.call(ctx, http.MethodPost, "/v1/simreport", reports, nil)
+}
+
+// SimStatsz fetches the coordinator's campaign-wide telemetry
+// aggregate (404s unless the coordinator reports).
+func (c *Client) SimStatsz(ctx context.Context) (simreport.Summary, error) {
+	var s simreport.Summary
+	err := c.call(ctx, http.MethodGet, "/v1/simstatsz", nil, &s)
+	return s, err
 }
 
 // Renew heartbeats a lease; ErrLeaseGone means it already expired.

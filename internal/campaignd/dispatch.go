@@ -80,6 +80,11 @@ type dispatch struct {
 	// leasable (campaign start, or its latest return to the queue).
 	tracer   *tracing.Tracer
 	enqueued []time.Time
+	// queueWait, when metrics are registered, books each granted
+	// point's queue wait as a /metrics histogram — the scrape-plane
+	// twin of the "enqueue" trace spans, so operators without a trace
+	// file still see queue latency.
+	queueWait *metrics.Histogram
 }
 
 // Adaptive batch bounds and tuning.
@@ -234,6 +239,11 @@ func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, dead
 	now := d.now()
 	deadline = now.Add(d.ttl)
 	l := &lease{id: id, worker: worker, deadline: deadline, granted: now, indexes: indexes}
+	if d.queueWait != nil {
+		for _, i := range indexes {
+			d.queueWait.Observe(now.Sub(d.enqueued[i]).Seconds())
+		}
+	}
 	if d.tracer != nil {
 		// The lease span roots this batch's timeline; each granted
 		// point's queue wait is booked as a completed "enqueue" child.
@@ -466,6 +476,10 @@ func (d *dispatch) activeLeases() []LeaseInfo {
 // coordinator reports crashed workers' leases as expired — never as
 // live — exactly as /v1/statsz does.
 func (d *dispatch) registerMetrics(reg *metrics.Registry, backendOf []string) {
+	d.mu.Lock()
+	d.queueWait = reg.Histogram("campaignd_queue_wait_seconds",
+		"seconds a plan point waited in the queue before being leased", metrics.DurationBuckets)
+	d.mu.Unlock()
 	locked := func(read func() float64) func() float64 {
 		return func() float64 {
 			d.mu.Lock()

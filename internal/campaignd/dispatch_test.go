@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sharedicache/internal/experiments"
+	"sharedicache/internal/metrics"
 )
 
 // fakeClock is a manually advanced clock for deterministic lease
@@ -247,6 +248,50 @@ func TestReleaseKeepsLeaseAlive(t *testing.T) {
 	}
 	// Releasing on an unknown/expired lease is a harmless no-op.
 	d.Release("nope", []int{0})
+}
+
+// TestQueueWaitHistogram pins the scrape-plane twin of the "enqueue"
+// trace spans: every granted point books its queue wait (time since it
+// last became leasable) into campaignd_queue_wait_seconds, and a point
+// returned to the queue restarts its wait from the return, not from
+// campaign start.
+func TestQueueWaitHistogram(t *testing.T) {
+	clk := newFakeClock()
+	d := testDispatch(4, time.Minute, 2, clk)
+	reg := metrics.NewRegistry()
+	d.registerMetrics(reg, []string{"detailed", "detailed", "detailed", "detailed"})
+
+	waits := func() (count float64, sum float64) {
+		t.Helper()
+		for _, f := range reg.Snapshot() {
+			if f.Name == "campaignd_queue_wait_seconds" {
+				if len(f.Series) != 1 {
+					t.Fatalf("queue-wait histogram has %d series, want 1", len(f.Series))
+				}
+				return f.Series[0].Value, f.Series[0].Sum
+			}
+		}
+		t.Fatal("campaignd_queue_wait_seconds not registered")
+		return 0, 0
+	}
+
+	// Both granted points waited 3s since campaign start.
+	clk.advance(3 * time.Second)
+	id := mustLease(t, d, "w1", []int{0, 1})
+	if count, sum := waits(); count != 2 || sum != 6 {
+		t.Fatalf("after first lease: count %v sum %v, want 2 / 6s", count, sum)
+	}
+
+	// A forfeited batch re-enqueues its points NOW: their next grant
+	// books only the 5s since the forfeit, not the 8s since start.
+	if err := d.Complete(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(5 * time.Second)
+	mustLease(t, d, "w2", []int{0, 1})
+	if count, sum := waits(); count != 4 || sum != 16 {
+		t.Fatalf("after re-lease: count %v sum %v, want 4 / 16s", count, sum)
+	}
 }
 
 // TestCompleteValidation pins index validation and the store-plane

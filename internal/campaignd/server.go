@@ -37,11 +37,22 @@
 //	GET  /v1/trace       the campaign's merged span timeline as Chrome
 //	                     trace-event JSON (404 unless tracing is on)
 //	POST /v1/trace       workers push their finished spans here
+//	GET  /v1/simstatsz   campaign-wide simulation-telemetry aggregate
+//	                     (simreport.Summary JSON; 404 unless reporting
+//	                     is on)
+//	POST /v1/simreport   workers push per-point simulation reports here
 //
 // With tracing enabled (ServerConfig.Tracer) every lease grant carries
 // an X-Trace-Context response header; workers parent their spans under
 // it and push them back, so GET /v1/trace exports one merged timeline
 // covering queue wait, leases, worker execution and store writes.
+//
+// With reporting enabled (ServerConfig.Reports) the campaign handshake
+// tells workers to collect per-point simulation telemetry
+// (internal/simreport) and push it with batch completion, so
+// GET /v1/simstatsz serves the whole campaign's microarchitectural
+// aggregate — CPI stall-stack shares, per-benchmark/per-config
+// distributions, and simulated-cycles-per-second — while it runs.
 //
 // Workers lease batches in plan order, heartbeat to keep them, publish
 // each result through the store plane, then complete the lease. A
@@ -66,6 +77,7 @@ import (
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/tracing"
 )
 
@@ -113,6 +125,13 @@ type ServerConfig struct {
 	// timeline is exported as Chrome trace-event JSON at GET /v1/trace.
 	// Nil (the default) disables tracing and both /v1/trace endpoints.
 	Tracer *tracing.Tracer
+	// Reports, when non-nil, turns on campaign-wide simulation
+	// telemetry: the handshake tells workers to collect per-point
+	// reports (internal/simreport) and push them back via
+	// POST /v1/simreport with batch completion, and the merged
+	// aggregate is served as JSON at GET /v1/simstatsz. Nil (the
+	// default) disables reporting and both endpoints.
+	Reports *simreport.Collector
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -128,6 +147,7 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *metrics.Registry
 	tracer  *tracing.Tracer
+	reports *simreport.Collector
 }
 
 // CampaignInfo is the dispatch-plane handshake: everything a worker
@@ -137,6 +157,9 @@ type CampaignInfo struct {
 	Points    int
 	TTLMillis int64
 	Batch     int
+	// Reports asks workers to collect per-point simulation telemetry
+	// and push it back via POST /v1/simreport with batch completion.
+	Reports bool
 }
 
 // LeasedPoint is one dispatched plan point.
@@ -231,6 +254,7 @@ func New(cfg ServerConfig) (*Server, error) {
 	s.d = newDispatch(s.points, hashes, cfg.TTL, cfg.Batch, cfg.now)
 	s.tracer = cfg.Tracer
 	s.d.tracer = cfg.Tracer
+	s.reports = cfg.Reports
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
@@ -256,12 +280,19 @@ func New(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/complete", s.handleComplete)
 	s.mux.HandleFunc("GET /v1/trace", s.handleGetTrace)
 	s.mux.HandleFunc("POST /v1/trace", s.handlePostTrace)
+	s.mux.HandleFunc("GET /v1/simstatsz", s.handleSimStatsz)
+	s.mux.HandleFunc("POST /v1/simreport", s.handlePostSimReport)
 	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	return s, nil
 }
 
 // Tracer returns the coordinator's tracer (nil when tracing is off).
 func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
+
+// Reports returns the coordinator's simulation-report collector (nil
+// when reporting is off). The driver's -report flag writes it to a
+// file at exit.
+func (s *Server) Reports() *simreport.Collector { return s.reports }
 
 // Handler returns the coordinator's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -405,6 +436,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		Points:    len(s.points),
 		TTLMillis: s.d.ttl.Milliseconds(),
 		Batch:     s.d.Batch(),
+		Reports:   s.reports != nil,
 	})
 }
 
@@ -491,6 +523,40 @@ func (s *Server) handlePostTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.tracer.Ingest(spans)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- telemetry plane ---
+
+// maxReportBytes bounds a worker's POST /v1/simreport batch; a report
+// is a few KB of JSON, so this covers hundreds per push.
+const maxReportBytes = 8 << 20
+
+// handleSimStatsz serves the campaign-wide simulation-telemetry
+// aggregate: totals, stall shares, and deterministic per-backend and
+// per-(bench, backend, org, cpc) groups with distributions.
+func (s *Server) handleSimStatsz(w http.ResponseWriter, r *http.Request) {
+	if s.reports == nil {
+		http.Error(w, "simulation reporting disabled (start the coordinator with -report)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.reports.Summary())
+}
+
+// handlePostSimReport ingests a batch of per-point reports from a
+// worker into the coordinator's collector (dedup by point key, so a
+// re-pushed batch cannot double-count).
+func (s *Server) handlePostSimReport(w http.ResponseWriter, r *http.Request) {
+	if s.reports == nil {
+		http.Error(w, "simulation reporting disabled (start the coordinator with -report)", http.StatusNotFound)
+		return
+	}
+	var reports []simreport.Report
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReportBytes)).Decode(&reports); err != nil {
+		http.Error(w, fmt.Sprintf("bad report batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.reports.Ingest(reports)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -13,6 +13,7 @@ import (
 	"sharedicache/internal/experiments"
 	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/tracing"
 )
 
@@ -56,17 +57,27 @@ type Worker struct {
 	// stay buffered here, still sharing the coordinator's trace ID via
 	// the grant's trace context, so local timelines remain mergeable.
 	Tracer *tracing.Tracer
+	// Reports collects per-point simulation telemetry. Nil auto-enables
+	// collection when the campaign handshake asks for it (the
+	// coordinator was started with -report), and the reports are pushed
+	// to the coordinator's POST /v1/simreport after each batch —
+	// campaign-wide telemetry needs no worker-side flag. An explicitly
+	// supplied collector instead belongs to the caller (the drivers'
+	// -report flag writes it to a local file): its reports stay here
+	// and are never drained.
+	Reports *simreport.Collector
 
 	// backendRegistered overrides the backend-availability check in
 	// tests (which cannot unregister a backend from the process-wide
 	// registry); nil means experiments.BackendRegistered.
 	backendRegistered func(string) bool
 
-	// log, id and tr are the per-Run resolved logger, worker identity
-	// and tracer.
+	// log, id, tr and col are the per-Run resolved logger, worker
+	// identity, tracer and report collector.
 	log *slog.Logger
 	id  string
 	tr  *tracing.Tracer
+	col *simreport.Collector
 }
 
 // WorkerReport summarises one worker's share of a campaign.
@@ -155,6 +166,14 @@ func (w *Worker) Run(ctx context.Context) (rep WorkerReport, err error) {
 	}
 	runner.SetMetrics(reg)
 	runner.SetTracer(w.tr)
+	// A handshake asking for telemetry auto-enables collection (the
+	// reports are pushed after each batch); a caller-supplied collector
+	// is attached regardless and stays local.
+	w.col = w.Reports
+	if w.col == nil && info.Reports {
+		w.col = simreport.NewCollector()
+	}
+	runner.SetReporter(w.col)
 	m := newWorkerMetrics(reg)
 
 	ttl := time.Duration(info.TTLMillis) * time.Millisecond
@@ -395,6 +414,7 @@ func (w *Worker) runBatch(ctx context.Context, client *Client, runner *experimen
 	_, err := runner.Plan(points...).RunAll(runCtx)
 	batchSpan.End()
 	w.pushSpans(ctx, client)
+	w.pushReports(ctx, client)
 	cancel()
 	<-hbStopped
 
@@ -441,6 +461,28 @@ func (w *Worker) pushSpans(ctx context.Context, client *Client) {
 		w.log.Debug("worker: trace push failed; keeping spans buffered",
 			"worker", w.id, "spans", len(spans), "error", err)
 		w.tr.Ingest(spans)
+	}
+}
+
+// pushReports drains the worker's collected simulation reports to the
+// coordinator. Failures are advisory — a campaign must never fail over
+// lost telemetry — and the reports are re-buffered for the next push
+// (the coordinator's collector dedups by point key, so a partially
+// delivered batch cannot double-count). A collector the caller
+// supplied explicitly is never drained: its reports are the caller's
+// to export (see the Reports field).
+func (w *Worker) pushReports(ctx context.Context, client *Client) {
+	if w.col == nil || w.Reports != nil {
+		return
+	}
+	reports := w.col.Drain()
+	if len(reports) == 0 {
+		return
+	}
+	if err := client.PushReports(ctx, reports); err != nil {
+		w.log.Debug("worker: report push failed; keeping reports buffered",
+			"worker", w.id, "reports", len(reports), "error", err)
+		w.col.Ingest(reports)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"sharedicache/internal/core"
 	"sharedicache/internal/metrics"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/tracing"
 )
@@ -181,6 +182,12 @@ type Runner struct {
 	// backend execution and the write-back; nil (the default) records
 	// nothing and costs a few nil checks.
 	tracer *tracing.Tracer
+
+	// reporter, when attached with SetReporter, collects one
+	// simreport.Report per resolved design point — captured around live
+	// executions, replayed from store artifacts on warm hits; nil (the
+	// default) captures nothing and costs one nil check per point.
+	reporter *simreport.Collector
 }
 
 // runKey identifies one design point in the memory cache tier. The
@@ -314,7 +321,11 @@ func (r *Runner) Store() ResultStore {
 func (r *Runner) SetMetrics(reg *metrics.Registry) {
 	r.mu.Lock()
 	r.metrics = reg
+	rep := r.reporter
 	r.mu.Unlock()
+	if reg != nil && rep != nil {
+		r.registerStallShares(reg)
+	}
 }
 
 // SetTracer attaches a span tracer. Each design point the runner
@@ -335,6 +346,51 @@ func (r *Runner) Tracer() *tracing.Tracer {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.tracer
+}
+
+// SetReporter attaches a simulation-report collector. Every design
+// point the runner resolves past the memory tier then contributes one
+// simreport.Report: a live execution is captured with its host cost
+// (wall time, allocation delta, simulated cycles per second), a
+// warm-store hit re-serves the point's persisted report artifact
+// verbatim (or rebuilds it from the stored result, marked Replayed,
+// when the artifact is missing or stale). When the attached store also
+// implements ArtifactStore, fresh reports persist beside their results
+// under the simreport fingerprint. If a metrics registry is attached
+// too, campaign-wide stall-share gauges are registered against the
+// collector. Attach before running plans; a nil collector detaches.
+func (r *Runner) SetReporter(c *simreport.Collector) {
+	r.mu.Lock()
+	r.reporter = c
+	reg := r.metrics
+	r.mu.Unlock()
+	if c != nil && reg != nil {
+		r.registerStallShares(reg)
+	}
+}
+
+// Reporter returns the attached report collector, or nil.
+func (r *Runner) Reporter() *simreport.Collector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reporter
+}
+
+// registerStallShares exposes the collector's aggregate CPI stack as
+// scrape-time share gauges, one series per stall category. The
+// closures read the runner's current reporter, so re-attaching either
+// side keeps the series live (GaugeFunc re-registration replaces the
+// callback).
+func (r *Runner) registerStallShares(reg *metrics.Registry) {
+	for _, kind := range simreport.ShareKinds {
+		kind := kind
+		reg.GaugeFunc("runner_stall_share",
+			"share of simulated core cycles by CPI-stack category, over all collected reports",
+			func() float64 {
+				return simreport.StackShares(r.Reporter().AggregateStack())[kind]
+			},
+			metrics.L("kind", kind))
+	}
 }
 
 // countCache books one cache-tier event on the attached registry.
@@ -364,8 +420,16 @@ func (r *Runner) countWrite() {
 		metrics.L("tier", "store")).Inc()
 }
 
-// observeExecution books one executed simulation and its wall-clock.
-func (r *Runner) observeExecution(backend string, elapsed time.Duration) {
+// simRateBuckets spans simulated-cycles-per-second from interpreter
+// territory (1e3) past the analytical backend's synthetic rates (1e9)
+// in half-decade steps.
+var simRateBuckets = []float64{
+	1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9,
+}
+
+// observeExecution books one executed simulation, its wall-clock and
+// its simulation rate.
+func (r *Runner) observeExecution(backend string, elapsed time.Duration, cycles uint64) {
 	r.mu.Lock()
 	reg := r.metrics
 	r.mu.Unlock()
@@ -376,6 +440,10 @@ func (r *Runner) observeExecution(backend string, elapsed time.Duration) {
 		metrics.L("backend", backend)).Inc()
 	reg.Histogram("runner_point_duration_seconds", "wall-clock seconds per executed design point",
 		metrics.DurationBuckets, metrics.L("backend", backend)).Observe(elapsed.Seconds())
+	if secs := elapsed.Seconds(); secs > 0 {
+		reg.Histogram("runner_sim_cycles_per_second", "simulated cycles per wall-clock second, by backend",
+			simRateBuckets, metrics.L("backend", backend)).Observe(float64(cycles) / secs)
+	}
 }
 
 // fingerprint identifies the result-affecting campaign options inside
@@ -535,11 +603,24 @@ func storePut(ctx context.Context, st ResultStore, key runstore.Key, res *core.R
 	return st.Put(key, res)
 }
 
+// ArtifactStore is the optional artifact extension of ResultStore:
+// stores that can hold derived blobs beside results (the on-disk
+// *runstore.Store) implement it, and the runner persists each point's
+// simreport artifact through it when a report collector is attached.
+// The campaign coordinator's RemoteStore deliberately does not — in a
+// distributed campaign telemetry travels worker → coordinator with
+// batch completion, not through the store plane.
+type ArtifactStore interface {
+	PutArtifact(kind, fingerprint string, data []byte) error
+	GetArtifact(kind, fingerprint string) ([]byte, bool)
+}
+
 // executeOrLoad resolves a memory-tier miss: disk first when a store
 // is attached, then the selected backend with a write-back. A persist
 // failure is surfaced as an error — a sharded campaign whose shards
 // cannot see each other's results is broken, not degraded.
 func (r *Runner) executeOrLoad(ctx context.Context, tr *tracing.Tracer, st ResultStore, backend, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
+	rep := r.Reporter()
 	if st != nil {
 		lctx, lookup := tr.Start(ctx, "store.lookup")
 		res, ok := storeGet(lctx, st, r.storeKey(backend, bench, cfg, prewarm))
@@ -547,15 +628,47 @@ func (r *Runner) executeOrLoad(ctx context.Context, tr *tracing.Tracer, st Resul
 		lookup.End()
 		if ok {
 			r.countCache("store", true)
+			r.replayReport(rep, st, backend, bench, cfg, prewarm, res)
 			return res, nil
 		}
 		r.countCache("store", false)
 	}
+	// Host-cost capture brackets the execution. runtime.ReadMemStats is
+	// not free, so the allocation delta is only sampled with a collector
+	// attached; it reads the process-wide counter, so the delta is
+	// approximate under concurrent simulations (HostCost documents
+	// this).
+	var allocBefore uint64
+	if rep != nil {
+		allocBefore = totalAllocBytes()
+	}
 	ectx, exec := tr.Start(ctx, "backend.execute", tracing.A("backend", backend))
+	start := time.Now()
 	res, err := r.execute(ectx, backend, bench, cfg, prewarm)
+	wall := time.Since(start)
+	if err == nil && exec != nil {
+		exec.SetAttr("cycles", fmt.Sprint(res.Cycles))
+		exec.SetAttr("instructions", fmt.Sprint(res.TotalInstructions()))
+		if secs := wall.Seconds(); secs > 0 {
+			exec.SetAttr("cycles_per_second", fmt.Sprintf("%.0f", float64(res.Cycles)/secs))
+		}
+	}
 	exec.End()
 	if err != nil {
 		return nil, err
+	}
+	var report simreport.Report
+	if rep != nil {
+		report = simreport.FromResult(r.storeKey(backend, bench, cfg, prewarm).Hex(),
+			bench, backend, prewarm, res)
+		report.Host = simreport.HostCost{
+			WallSeconds: wall.Seconds(),
+			AllocBytes:  totalAllocBytes() - allocBefore,
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			report.Host.SimCyclesPerSecond = float64(res.Cycles) / secs
+		}
+		rep.Add(report)
 	}
 	if st != nil {
 		wctx, write := tr.Start(ctx, "store.write")
@@ -565,8 +678,57 @@ func (r *Runner) executeOrLoad(ctx context.Context, tr *tracing.Tracer, st Resul
 			return nil, fmt.Errorf("persist result: %w", err)
 		}
 		r.countWrite()
+		r.persistReport(st, report)
 	}
 	return res, nil
+}
+
+// replayReport re-serves a warm point's telemetry with zero
+// simulations: the persisted artifact verbatim when the store holds a
+// current one, else a rebuild from the stored result (exact
+// microarchitecturally, host cost unknown — marked Replayed) that is
+// re-persisted under the current fingerprint so the next warm run hits
+// the artifact directly.
+func (r *Runner) replayReport(rep *simreport.Collector, st ResultStore, backend, bench string, cfg core.Config, prewarm bool, res *core.Result) {
+	if rep == nil {
+		return
+	}
+	keyHex := r.storeKey(backend, bench, cfg, prewarm).Hex()
+	as, _ := st.(ArtifactStore)
+	if as != nil {
+		if data, ok := as.GetArtifact(simreport.ArtifactKind(keyHex), simreport.Fingerprint); ok {
+			if report, ok := simreport.Decode(data, keyHex); ok {
+				rep.Add(report)
+				return
+			}
+		}
+	}
+	report := simreport.FromResult(keyHex, bench, backend, prewarm, res)
+	report.Host.Replayed = true
+	rep.Add(report)
+	r.persistReport(st, report)
+}
+
+// persistReport writes a report beside its result when the store can
+// hold artifacts. Telemetry persistence is best-effort: a failure
+// costs a Replayed rebuild on the next warm run, never the campaign —
+// unlike result write-backs, which are load-bearing for sharding.
+func (r *Runner) persistReport(st ResultStore, report simreport.Report) {
+	as, ok := st.(ArtifactStore)
+	if !ok || report.Key == "" {
+		return
+	}
+	if data, err := simreport.Encode(report); err == nil {
+		_ = as.PutArtifact(simreport.ArtifactKind(report.Key), simreport.Fingerprint, data)
+	}
+}
+
+// totalAllocBytes samples the process-wide cumulative allocation
+// counter.
+func totalAllocBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
 }
 
 // execute dispatches one design point (always a cache miss) to its
@@ -584,7 +746,7 @@ func (r *Runner) execute(ctx context.Context, backend, bench string, cfg core.Co
 	r.mu.Lock()
 	r.simsBy[backend]++
 	r.mu.Unlock()
-	r.observeExecution(backend, time.Since(start))
+	r.observeExecution(backend, time.Since(start), res.Cycles)
 	return res, nil
 }
 

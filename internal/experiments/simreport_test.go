@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"sharedicache/internal/metrics"
+	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
+)
+
+// fig7Plan declares the paper's Fig 7 design space over the runner's
+// benchmarks: the private baseline plus the shared organisation at
+// sharing degrees 2, 4 and 8 (32 KB, 4 line buffers, 1 bus).
+func fig7Plan(r *Runner) *Plan {
+	plan := r.Plan()
+	for _, p := range r.opts.profiles() {
+		plan.Add(p.Name, baselineConfig())
+		for _, cpc := range []int{2, 4, 8} {
+			plan.Add(p.Name, sharedConfig(cpc, 32, 4, 1))
+		}
+	}
+	return plan
+}
+
+// TestReporterFig7Conservation is the acceptance pin for the capture
+// path: every point of the Fig 7 space on the detailed backend yields
+// exactly one report whose stall-stack cycles sum to its
+// section-accounted core cycles, with real host cost attached.
+func TestReporterFig7Conservation(t *testing.T) {
+	r := smallRunner(t, nil)
+	col := simreport.NewCollector()
+	r.SetReporter(col)
+
+	plan := fig7Plan(r)
+	if _, err := plan.RunAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := col.Len(), plan.Len(); got != want {
+		t.Fatalf("collected %d reports over %d points", got, want)
+	}
+
+	wantKeys := map[string]bool{}
+	for _, pt := range plan.Points() {
+		wantKeys[r.PointKey(pt).Hex()] = true
+	}
+	for _, rep := range col.Reports() {
+		if !wantKeys[rep.Key] {
+			t.Fatalf("report keyed %s matches no plan point", rep.Key)
+		}
+		if rep.Backend != "detailed" {
+			t.Fatalf("report backend = %q", rep.Backend)
+		}
+		if rep.StackTotal() == 0 {
+			t.Fatalf("%s %s/cpc=%d: empty stall stack", rep.Bench, rep.Org, rep.CPC)
+		}
+		if rep.StackTotal() != rep.CoreCycles() {
+			t.Fatalf("%s %s/cpc=%d: conservation violated: stack %d != core cycles %d",
+				rep.Bench, rep.Org, rep.CPC, rep.StackTotal(), rep.CoreCycles())
+		}
+		if rep.Host.Replayed || rep.Host.WallSeconds <= 0 || rep.Host.SimCyclesPerSecond <= 0 {
+			t.Fatalf("%s %s/cpc=%d: live execution missing host cost: %+v",
+				rep.Bench, rep.Org, rep.CPC, rep.Host)
+		}
+	}
+
+	// The campaign summary inherits conservation.
+	s := col.Summary()
+	if s.CoreCycles == 0 || s.CoreCycles != s.StackCycles {
+		t.Fatalf("summary totals %d/%d violate conservation", s.CoreCycles, s.StackCycles)
+	}
+}
+
+// TestWarmStoreReplaysReports is the acceptance pin for telemetry
+// persistence: a second campaign over a populated store re-serves
+// byte-identical report artifacts with zero simulations.
+func TestWarmStoreReplaysReports(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold := storeRunner(t, dir)
+	coldCol := simreport.NewCollector()
+	cold.SetReporter(coldCol)
+	if _, err := campaignPlan(cold).RunAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every report persisted beside its result.
+	store := cold.Store().(*runstore.Store)
+	coldBytes := map[string][]byte{}
+	for _, rep := range coldCol.Reports() {
+		data, ok := store.GetArtifact(simreport.ArtifactKind(rep.Key), simreport.Fingerprint)
+		if !ok {
+			t.Fatalf("no artifact persisted for %s", rep.Key)
+		}
+		want, err := simreport.Encode(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("artifact for %s differs from the captured report", rep.Key)
+		}
+		coldBytes[rep.Key] = data
+	}
+
+	// Warm pass: zero simulations, byte-identical telemetry — original
+	// host cost included, so the replay is not marked Replayed.
+	warm := storeRunner(t, dir)
+	warmCol := simreport.NewCollector()
+	warm.SetReporter(warmCol)
+	if _, err := campaignPlan(warm).RunAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Simulations(); got != 0 {
+		t.Fatalf("warm campaign simulated %d points, want 0", got)
+	}
+	if got, want := warmCol.Len(), coldCol.Len(); got != want {
+		t.Fatalf("warm campaign collected %d reports, want %d", got, want)
+	}
+	for _, rep := range warmCol.Reports() {
+		got, err := simreport.Encode(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, coldBytes[rep.Key]) {
+			t.Fatalf("warm replay of %s is not byte-identical", rep.Key)
+		}
+		if rep.Host.Replayed {
+			t.Fatalf("artifact replay of %s lost its captured host cost", rep.Key)
+		}
+	}
+}
+
+// TestReportFingerprintBumpInvalidates mirrors the refine stale-fit
+// test: an artifact persisted under a different simreport fingerprint
+// reads as a miss, so the warm pass rebuilds the report from the
+// stored result — still zero simulations, marked Replayed — and
+// re-persists it under the current fingerprint.
+func TestReportFingerprintBumpInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold := storeRunner(t, dir)
+	cold.SetReporter(simreport.NewCollector())
+	if _, err := campaignPlan(cold).RunAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a schema bump: re-stamp one point's artifact with a
+	// future fingerprint (the payload itself is untouched).
+	store := cold.Store().(*runstore.Store)
+	pt := campaignPlan(cold).Points()[0]
+	keyHex := cold.PointKey(pt).Hex()
+	kind := simreport.ArtifactKind(keyHex)
+	data, ok := store.GetArtifact(kind, simreport.Fingerprint)
+	if !ok {
+		t.Fatal("cold campaign left no artifact")
+	}
+	if err := store.PutArtifact(kind, "simreport/v999", data); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := storeRunner(t, dir)
+	col := simreport.NewCollector()
+	warm.SetReporter(col)
+	if _, err := campaignPlan(warm).RunAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Simulations(); got != 0 {
+		t.Fatalf("invalidated telemetry cost %d simulations, want 0", got)
+	}
+	var rebuilt *simreport.Report
+	for _, rep := range col.Reports() {
+		if rep.Key == keyHex {
+			rep := rep
+			rebuilt = &rep
+		} else if rep.Host.Replayed {
+			t.Fatalf("untouched artifact %s was not replayed verbatim", rep.Key)
+		}
+	}
+	if rebuilt == nil {
+		t.Fatal("stale point produced no report")
+	}
+	if !rebuilt.Host.Replayed || rebuilt.Host.WallSeconds != 0 {
+		t.Fatalf("stale artifact should rebuild as Replayed: %+v", rebuilt.Host)
+	}
+	if rebuilt.StackTotal() != rebuilt.CoreCycles() {
+		t.Fatal("rebuilt report violates conservation")
+	}
+
+	// The rebuild re-persisted under the current fingerprint, so a
+	// third pass replays it as an artifact again.
+	if data, ok := store.GetArtifact(kind, simreport.Fingerprint); !ok {
+		t.Fatal("rebuilt report was not re-persisted")
+	} else if rep, ok := simreport.Decode(data, keyHex); !ok || !rep.Host.Replayed {
+		t.Fatal("re-persisted artifact does not carry the rebuilt report")
+	}
+}
+
+// TestReporterMetrics pins the summary instruments: the per-backend
+// simulation-rate histogram observes every execution, and attaching a
+// reporter alongside a registry registers the stall-share gauges.
+func TestReporterMetrics(t *testing.T) {
+	r := smallRunner(t, nil)
+	reg := metrics.NewRegistry()
+	r.SetMetrics(reg)
+	r.SetReporter(simreport.NewCollector())
+
+	if _, err := r.Simulate("FT", sharedConfig(8, 16, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	var rate, share *metrics.FamilySnapshot
+	for i := range snap {
+		switch snap[i].Name {
+		case "runner_sim_cycles_per_second":
+			rate = &snap[i]
+		case "runner_stall_share":
+			share = &snap[i]
+		}
+	}
+	if rate == nil || len(rate.Series) != 1 || rate.Series[0].Value != 1 {
+		t.Fatalf("runner_sim_cycles_per_second not observed: %+v", rate)
+	}
+	if rate.Series[0].Sum <= 0 {
+		t.Fatal("simulation rate should be positive")
+	}
+	if share == nil || len(share.Series) != len(simreport.ShareKinds) {
+		t.Fatalf("stall-share gauges missing: %+v", share)
+	}
+	var total float64
+	for _, s := range share.Series {
+		total += s.Value
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("stall shares sum to %v, want 1", total)
+	}
+}
+
+// TestReporterOffByDefault pins the disabled mode: no collector, no
+// reports, no artifacts — and campaigns behave exactly as before.
+func TestReporterOffByDefault(t *testing.T) {
+	dir := t.TempDir()
+	r := storeRunner(t, dir)
+	if r.Reporter() != nil {
+		t.Fatal("a fresh runner should have no reporter")
+	}
+	pt := campaignPlan(r).Points()[0]
+	if _, err := campaignPlan(r).RunAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	store := r.Store().(*runstore.Store)
+	kind := simreport.ArtifactKind(r.PointKey(pt).Hex())
+	if _, ok := store.GetArtifact(kind, simreport.Fingerprint); ok {
+		t.Fatal("disabled reporting still persisted an artifact")
+	}
+}

@@ -1,0 +1,234 @@
+// Package simreport is the third observability surface: per-point
+// microarchitectural telemetry. Where metrics answer "is the service
+// healthy" and tracing answers "where did wall-time go", a simulation
+// report answers "what did the simulated hardware do, and what did it
+// cost us to simulate it": the full per-core CPI stall stack of the
+// paper's Fig 8, the serial/parallel cycle split, per-level I-cache
+// traffic and MPKI, I-bus occupancy and contention, DRAM row behaviour
+// and runtime synchronisation counts — plus the host-side cost of
+// producing them (wall time, allocation, simulated cycles per second),
+// which is the ground truth the ROADMAP's detailed-throughput work
+// needs.
+//
+// Reports are captured by the experiments Runner around each executed
+// simulation (see Runner.SetReporter), persisted beside their result
+// as fingerprinted run-store artifacts so warm-store replays re-serve
+// telemetry with zero simulations, pushed from campaign workers to the
+// coordinator with batch completion, and aggregated campaign-wide by
+// Collector.Summary — served at the coordinator's GET /v1/simstatsz
+// and written by the drivers' -report flag. Like tracing, the whole
+// layer is off by default and nil-safe: an unattached collector costs
+// a nil check per point.
+package simreport
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sharedicache/internal/backend"
+	"sharedicache/internal/core"
+	"sharedicache/internal/memsys"
+	"sharedicache/internal/omprt"
+)
+
+// Fingerprint identifies the report schema + derivation inside every
+// persisted artifact. Bump the version to invalidate persisted reports
+// wholesale on a schema or semantics change — stale artifacts then
+// read as misses and are rebuilt from the stored results.
+const Fingerprint = "simreport/v1"
+
+// ArtifactKind names the run-store artifact slot for the design point
+// stored under keyHex (a lowercase content-address hex string), keyed
+// beside its result so report and result travel together through the
+// store.
+func ArtifactKind(keyHex string) string { return "simreport-" + keyHex }
+
+// CoreReport is one core's share of the report: instruction and cycle
+// accounting by section, and the CPI stall stack. For the detailed
+// backend the stack satisfies cycle conservation: Stack.Total() ==
+// SerialCycles + ParallelCycles (every simulated cycle books exactly
+// one stack category and one section).
+type CoreReport struct {
+	Core                 int
+	Instructions         uint64
+	SerialInstructions   uint64
+	ParallelInstructions uint64
+	SerialCycles         uint64
+	ParallelCycles       uint64
+	Stack                backend.CPIStack
+}
+
+// CacheReport is one I-cache level's traffic. Level is
+// "icache.master" or "icache.worker" (the aggregate over the caches
+// serving worker fetches — private per-core in the baseline, the
+// shared caches otherwise).
+type CacheReport struct {
+	Level     string
+	Accesses  uint64
+	Misses    uint64
+	MissRatio float64
+	MPKI      float64
+}
+
+// BusReport is the shared I-bus fabric's occupancy and contention
+// (zero in the private baseline).
+type BusReport struct {
+	Submitted   uint64
+	Granted     uint64
+	WaitCycles  uint64
+	BusyCycles  uint64
+	Utilization float64
+	MeanWait    float64
+	MergedFills uint64
+}
+
+// HostCost is what producing the report cost the simulating host.
+type HostCost struct {
+	// WallSeconds is the backend execution wall time.
+	WallSeconds float64
+	// AllocBytes is the runtime.MemStats TotalAlloc delta across the
+	// execution — approximate under concurrent simulations (the counter
+	// is process-wide), exact when points run serially.
+	AllocBytes uint64
+	// SimCyclesPerSecond is simulated cycles per wall second, the
+	// recorded perf trajectory's headline number.
+	SimCyclesPerSecond float64
+	// Replayed marks a report rebuilt from a stored result rather than
+	// captured around a live execution: the microarchitectural half is
+	// exact, the host cost unknown (zeroed).
+	Replayed bool
+}
+
+// Report is one design point's telemetry.
+type Report struct {
+	// Key is the point's persistent-store content address (hex); report
+	// artifacts are keyed beside their result with it.
+	Key     string
+	Bench   string
+	Backend string
+	Org     string
+	CPC     int
+	Prewarm bool
+
+	// Cycles is total execution time; Instructions sums committed
+	// instructions over all cores. SerialCycles/ParallelCycles sum the
+	// per-core section accounting.
+	Cycles         uint64
+	Instructions   uint64
+	SerialCycles   uint64
+	ParallelCycles uint64
+
+	Cores   []CoreReport
+	Caches  []CacheReport
+	Bus     BusReport
+	DRAM    memsys.DRAMStats
+	Runtime omprt.Stats
+
+	Host HostCost
+}
+
+// FromResult derives the microarchitectural half of a report from a
+// simulation result. The caller fills Host (or marks it Replayed).
+func FromResult(keyHex, bench, backendName string, prewarm bool, res *core.Result) Report {
+	r := Report{
+		Key:     keyHex,
+		Bench:   bench,
+		Backend: backendName,
+		Org:     fmt.Sprint(res.Config.Organization),
+		CPC:     res.Config.CPC,
+		Prewarm: prewarm,
+		Cycles:  res.Cycles,
+	}
+	for i, c := range res.Cores {
+		r.Instructions += c.Instructions
+		r.SerialCycles += c.SerialCycles
+		r.ParallelCycles += c.ParallelCycles
+		r.Cores = append(r.Cores, CoreReport{
+			Core:                 i,
+			Instructions:         c.Instructions,
+			SerialInstructions:   c.SerialInstructions,
+			ParallelInstructions: c.ParallelInstructions,
+			SerialCycles:         c.SerialCycles,
+			ParallelCycles:       c.ParallelCycles,
+			Stack:                c.Stack,
+		})
+	}
+	masterInstr := uint64(0)
+	if len(res.Cores) > 0 {
+		masterInstr = res.Cores[0].Instructions
+	}
+	r.Caches = []CacheReport{
+		{
+			Level:     "icache.master",
+			Accesses:  res.MasterICache.Accesses,
+			Misses:    res.MasterICache.Misses,
+			MissRatio: res.MasterICache.MissRatio(),
+			MPKI:      res.MasterICache.MPKI(masterInstr),
+		},
+		{
+			Level:     "icache.worker",
+			Accesses:  res.WorkerICache.Accesses,
+			Misses:    res.WorkerICache.Misses,
+			MissRatio: res.WorkerICache.MissRatio(),
+			MPKI:      res.WorkerICache.MPKI(res.WorkerInstructions()),
+		},
+	}
+	r.Bus = BusReport{
+		Submitted:   res.Bus.Submitted,
+		Granted:     res.Bus.Granted,
+		WaitCycles:  res.Bus.WaitCycles,
+		BusyCycles:  res.Bus.BusyCycles,
+		Utilization: res.Bus.Utilization(res.Cycles),
+		MeanWait:    res.Bus.AvgWait(),
+		MergedFills: res.MergedFills,
+	}
+	r.DRAM = res.DRAM
+	r.Runtime = res.Runtime
+	return r
+}
+
+// StackTotal sums the CPI-stack cycles over all cores.
+func (r *Report) StackTotal() uint64 {
+	var n uint64
+	for _, c := range r.Cores {
+		n += c.Stack.Total()
+	}
+	return n
+}
+
+// CoreCycles sums the section-accounted cycles over all cores; for the
+// detailed backend it equals StackTotal (cycle conservation).
+func (r *Report) CoreCycles() uint64 { return r.SerialCycles + r.ParallelCycles }
+
+// Stack sums the per-core CPI stacks.
+func (r *Report) Stack() backend.CPIStack {
+	var st backend.CPIStack
+	for _, c := range r.Cores {
+		st.Add(c.Stack)
+	}
+	return st
+}
+
+// Encode serialises a report for artifact storage or the wire.
+func Encode(r Report) ([]byte, error) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("simreport: encode %s: %w", r.Key, err)
+	}
+	return data, nil
+}
+
+// Decode parses report bytes; anything malformed or keyed to a
+// different point than expected (wantKey != "" pins it) is rejected —
+// the caller treats it as a miss and rebuilds, the same
+// corruption-as-miss stance the run store takes.
+func Decode(data []byte, wantKey string) (Report, bool) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil || r.Key == "" {
+		return Report{}, false
+	}
+	if wantKey != "" && r.Key != wantKey {
+		return Report{}, false
+	}
+	return r, true
+}

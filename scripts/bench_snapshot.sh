@@ -10,7 +10,7 @@
 # not to other hosts.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

@@ -49,14 +49,18 @@
 //     ground truth on a golden slice, triage the full space
 //     analytically, and re-plan the frontier a FrontierSelector picks
 //     onto the detailed backend (see docs/REFINE.md).
-//   - MetricsRegistry (internal/metrics) and Tracer (internal/tracing)
-//     are the observability layer: runner cache tiers, store traffic
-//     and lease health all register on one registry, served in
-//     Prometheus text form at the coordinator's GET /metrics, while a
-//     Tracer records per-point span timelines — propagated across the
-//     campaign's HTTP planes so worker spans parent under coordinator
-//     lease spans — exported as Chrome trace-event JSON for Perfetto
-//     (see docs/OBSERVABILITY.md).
+//   - MetricsRegistry (internal/metrics), Tracer (internal/tracing)
+//     and SimReportCollector (internal/simreport) are the
+//     observability layer: runner cache tiers, store traffic and lease
+//     health all register on one registry, served in Prometheus text
+//     form at the coordinator's GET /metrics; a Tracer records
+//     per-point span timelines — propagated across the campaign's HTTP
+//     planes so worker spans parent under coordinator lease spans —
+//     exported as Chrome trace-event JSON for Perfetto; and a
+//     SimReportCollector captures per-point microarchitectural
+//     telemetry (CPI stall stacks, cache/bus stats, host cost),
+//     persisted beside results in the RunStore and aggregated
+//     campaign-wide at GET /v1/simstatsz (see docs/OBSERVABILITY.md).
 //   - Tech / Cluster wrap the McPAT/CACTI-style area & energy model
 //     (internal/power).
 //   - CMPDesign wraps the Hill-Marty speedup model (internal/amdahl).
@@ -75,6 +79,7 @@ import (
 	"sharedicache/internal/power"
 	"sharedicache/internal/refine"
 	"sharedicache/internal/runstore"
+	"sharedicache/internal/simreport"
 	"sharedicache/internal/sweep"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
@@ -270,6 +275,31 @@ func NewTracer(cfg TracerConfig) *Tracer { return tracing.New(cfg) }
 // in Perfetto (processes become pids, engine worker slots become tids).
 func WriteChromeTrace(w io.Writer, spans []TraceSpan) error {
 	return tracing.WriteChromeTrace(w, spans)
+}
+
+// SimReport is one design point's microarchitectural telemetry:
+// per-core CPI stall stacks, per-level I-cache traffic, bus occupancy,
+// DRAM and runtime counters, plus the host-side cost of simulating it.
+type SimReport = simreport.Report
+
+// SimReportCollector accumulates SimReports across a campaign; attach
+// one to a Runner with SetReporter, a CampaignWorker via its Reports
+// field, or a CampaignServer via its config (which then serves the
+// aggregate at GET /v1/simstatsz). Nil-safe and off by default, like
+// Tracer. See docs/OBSERVABILITY.md.
+type SimReportCollector = simreport.Collector
+
+// SimReportSummary is the campaign-wide aggregate: totals, stall
+// shares, and per-backend / per-configuration distributions.
+type SimReportSummary = simreport.Summary
+
+// NewSimReportCollector builds an empty report collector.
+func NewSimReportCollector() *SimReportCollector { return simreport.NewCollector() }
+
+// WriteSimReports writes a collector's reports and their summary as
+// indented JSON to path, returning the report count.
+func WriteSimReports(path string, c *SimReportCollector) (int, error) {
+	return simreport.WriteFile(path, c)
 }
 
 // DesignSpace enumerates the swept design-space axes shared by
