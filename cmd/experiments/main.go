@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -51,8 +53,44 @@ func main() {
 		report  = flag.String("report", "", "write per-point simulation telemetry (stall stacks, cache/bus stats, host cost) as JSON to this file at exit")
 		stream  = flag.Bool("stream", true, "render supporting figures row-by-row as points complete (text format)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	// Whole-run pprof captures (docs/PERFORMANCE.md has the recipe).
+	// Like -trace, a fatal() exit skips the export.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "experiments: cpu profile written to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "experiments: heap profile written to %s\n", *memprofile)
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -66,6 +66,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"sharedicache/internal/campaignd"
 	"sharedicache/internal/core"
@@ -96,6 +98,9 @@ type cliFlags struct {
 	trace    *string
 	report   *string
 	pprof    *bool
+
+	cpuprofile *string
+	memprofile *string
 }
 
 // registerFlags declares every cmd/sweep flag on fs. The design-space
@@ -117,6 +122,9 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		trace:    fs.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)"),
 		report:   fs.String("report", "", "write per-point simulation telemetry (stall stacks, cache/bus stats, host cost) as JSON to this file at exit"),
 		pprof:    fs.Bool("pprof", false, "with -metrics: also serve net/http/pprof under /debug/pprof/ on the metrics address"),
+
+		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)"),
+		memprofile: fs.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)"),
 	}
 }
 
@@ -127,6 +135,40 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// -cpuprofile/-memprofile: whole-run pprof captures for offline
+	// analysis (docs/PERFORMANCE.md has the recipe). Like -trace, a
+	// fatal() exit skips the export.
+	if *cf.cpuprofile != "" {
+		f, err := os.Create(*cf.cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "sweep: cpu profile written to %s\n", *cf.cpuprofile)
+		}()
+	}
+	if *cf.memprofile != "" {
+		defer func() {
+			f, err := os.Create(*cf.memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "sweep: heap profile written to %s\n", *cf.memprofile)
+		}()
+	}
 
 	if *cf.storeDir != "" && *cf.remote != "" {
 		fatal(errors.New("-store and -remote are mutually exclusive"))

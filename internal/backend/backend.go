@@ -99,22 +99,26 @@ func (s *CPIStack) Add(o CPIStack) {
 }
 
 // record attributes one stalled cycle.
-func (s *CPIStack) record(k StallKind) {
+func (s *CPIStack) record(k StallKind) { s.skip(k, 1) }
+
+// skip attributes n stalled cycles at once (the bulk form record
+// delegates to, used by the skip-ahead fast path).
+func (s *CPIStack) skip(k StallKind, n uint64) {
 	switch k {
 	case StallBranch:
-		s.Branch++
+		s.Branch += n
 	case StallBusQueue:
-		s.BusQueue++
+		s.BusQueue += n
 	case StallBusLatency:
-		s.BusLatency++
+		s.BusLatency += n
 	case StallCacheHit:
-		s.CacheHit++
+		s.CacheHit += n
 	case StallCacheMiss:
-		s.CacheMiss++
+		s.CacheMiss += n
 	case StallSync:
-		s.Sync++
+		s.Sync += n
 	default:
-		s.Drain++
+		s.Drain += n
 	}
 }
 
@@ -200,6 +204,29 @@ func (b *Backend) Tick(cause StallKind) int {
 	}
 	b.stack.record(cause)
 	return 0
+}
+
+// SkipIdle books n consecutive idle cycles at once, each attributed to
+// cause, exactly as n calls of Tick(cause) with an empty queue would:
+// credits accumulate at the commit rate and saturate at the same cap
+// (min is monotone, so one clamped addition equals n per-cycle clamped
+// additions), nothing commits, and the CPI stack gains n cycles in
+// cause's bucket. It is the back-end half of the simulator's skip-ahead
+// fast path and panics if instructions are queued — a non-empty queue
+// commits or paces every cycle and must be ticked.
+func (b *Backend) SkipIdle(cause StallKind, n uint64) {
+	if n == 0 {
+		return
+	}
+	if b.queue != 0 {
+		panic("backend: SkipIdle with queued instructions")
+	}
+	c := uint64(b.credits) + n*uint64(b.ipcMilli)
+	if c > creditCap {
+		c = creditCap
+	}
+	b.credits = uint32(c)
+	b.stack.skip(cause, n)
 }
 
 // Committed returns total committed instructions.

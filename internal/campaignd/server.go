@@ -208,6 +208,9 @@ type completeRequest struct {
 type Statsz struct {
 	Store    runstore.Stats
 	Dispatch DispatchStats
+	// Memo aggregates the runner's synthesis/prewarm memo counters
+	// across backends (zero-valued when no memoising backend has run).
+	Memo experiments.MemoStats
 }
 
 // New builds a coordinator over a plan and its backing store.
@@ -334,6 +337,12 @@ func (s *Server) Stats() Statsz {
 			ReleasedPoints:  intOf("campaignd_points_released_total"),
 			EffectiveBatch:  int(intOf("campaignd_lease_batch")),
 		},
+	}
+	st.Memo = experiments.MemoStats{
+		SynthHits:     uint64(sumOf("runner_synth_memo_hits_total")),
+		SynthMisses:   uint64(sumOf("runner_synth_memo_misses_total")),
+		PrewarmHits:   uint64(sumOf("runner_prewarm_memo_hits_total")),
+		PrewarmMisses: uint64(sumOf("runner_prewarm_memo_misses_total")),
 	}
 	ewma, _ := snap.Value("campaignd_point_seconds_ewma")
 	st.Dispatch.MeanPointMillis = int64(ewma * 1000)

@@ -63,6 +63,13 @@ var statszTmpl = template.Must(template.New("statsz").Parse(`<!DOCTYPE html>
 <tr><th>hits</th><th>misses</th><th>writes</th><th>bad entries</th></tr>
 <tr><td>{{.Store.Hits}}</td><td>{{.Store.Misses}}</td><td>{{.Store.Writes}}</td><td>{{.Store.BadEntries}}</td></tr>
 </table>
+
+<h2>Synthesis memo</h2>
+<table>
+<tr><th></th><th>hits</th><th>misses</th></tr>
+<tr><td>workload synthesis</td><td>{{.Memo.SynthHits}}</td><td>{{.Memo.SynthMisses}}</td></tr>
+<tr><td>prewarm line sets</td><td>{{.Memo.PrewarmHits}}</td><td>{{.Memo.PrewarmMisses}}</td></tr>
+</table>
 </body>
 </html>
 `))

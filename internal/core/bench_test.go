@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"sharedicache/internal/synth"
+	"sharedicache/internal/trace"
+)
+
+// BenchmarkSimAllocs runs one full worker-shared simulation per
+// iteration and reports heap allocations per trace record on top of
+// the usual allocs/op, so allocation churn in the hot loop (peek,
+// fetch requests, fabric grants, buffer scans) is visible per unit of
+// simulated work rather than drowned in per-run setup. The workload is
+// synthesised once outside the timed loop; sources and the Simulator
+// are rebuilt per iteration because a Simulator is single-use.
+func BenchmarkSimAllocs(b *testing.B) {
+	p, ok := synth.ProfileByName("FT")
+	if !ok {
+		b.Fatal("no profile FT")
+	}
+	w, err := synth.New(p, synth.Config{Workers: 8, MasterInstructions: 60_000, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := SharedConfig()
+	var records uint64
+
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for b.Loop() {
+		srcs := make([]trace.Source, w.NumThreads())
+		for i := range srcs {
+			srcs[i] = w.Source(i)
+		}
+		sim, err := New(cfg, srcs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = 0
+		for _, c := range res.Cores {
+			records += c.Instructions
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if records > 0 && b.N > 0 {
+		allocs := float64(after.Mallocs - before.Mallocs)
+		b.ReportMetric(allocs/float64(records)/float64(b.N), "allocs/record")
+	}
+}

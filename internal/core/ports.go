@@ -7,6 +7,27 @@ import (
 	"sharedicache/internal/memsys"
 )
 
+// reqArena hands out LineRequests from chunked slabs, replacing the
+// one-heap-object-per-fetch pattern on the hot path. A Simulator is
+// single-use and single-goroutine, so one arena per Simulator with no
+// synchronisation and no recycling is enough: slabs are garbage once
+// the last request handed out of them is dropped. Entries come out of
+// a fresh slab zeroed, exactly like &frontend.LineRequest{}.
+type reqArena struct {
+	chunk []frontend.LineRequest
+}
+
+const reqArenaChunk = 256
+
+func (a *reqArena) get() *frontend.LineRequest {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]frontend.LineRequest, reqArenaChunk)
+	}
+	r := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	return r
+}
+
 // privatePort is the Fig 5a fetch path: a per-core I-cache answered in
 // ICacheLatency cycles, with misses filled through the core's L2.
 // Requests resolve synchronously because there is no arbitration.
@@ -15,10 +36,12 @@ type privatePort struct {
 	mem      *memsys.System
 	core     int
 	cacheLat int
+	arena    *reqArena
 }
 
 func (p *privatePort) Request(now uint64, lineAddr uint64) *frontend.LineRequest {
-	req := &frontend.LineRequest{
+	req := p.arena.get()
+	*req = frontend.LineRequest{
 		LineAddr: lineAddr, Core: p.core,
 		SubmitAt: now, Granted: true, GrantAt: now,
 		Resolved: true, CacheLatency: p.cacheLat,
@@ -51,11 +74,12 @@ type sharedICache struct {
 	pending   map[uint64]*frontend.LineRequest
 	nextToken uint64
 	mshr      map[uint64]uint64 // line -> cycle its L2/DRAM fill completes
+	arena     *reqArena
 
 	merged uint64 // requests satisfied by an in-flight fill
 }
 
-func newSharedICache(cfg Config, groupCores []int, mem *memsys.System) *sharedICache {
+func newSharedICache(cfg Config, groupCores []int, mem *memsys.System, arena *reqArena) *sharedICache {
 	cacheCfg := cfg.ICache
 	cacheCfg.Banks = cfg.Buses
 	fabric := interconnect.NewFabric(cfg.Buses, len(groupCores),
@@ -69,6 +93,7 @@ func newSharedICache(cfg Config, groupCores []int, mem *memsys.System) *sharedIC
 		groupCores: groupCores,
 		pending:    map[uint64]*frontend.LineRequest{},
 		mshr:       map[uint64]uint64{},
+		arena:      arena,
 	}
 }
 
@@ -84,7 +109,8 @@ type sharedPort struct {
 
 func (p *sharedPort) Request(now uint64, lineAddr uint64) *frontend.LineRequest {
 	s := p.s
-	req := &frontend.LineRequest{
+	req := s.arena.get()
+	*req = frontend.LineRequest{
 		LineAddr: lineAddr, Core: s.groupCores[p.local],
 		SubmitAt: now, Shared: true,
 		BusLatency: s.fabric.Latency(), CacheLatency: s.cacheLat,
@@ -139,6 +165,16 @@ func (s *sharedICache) Tick(now uint64) {
 			}
 		}
 	}
+}
+
+// nextEvent returns the earliest cycle ≥ now at which Tick can make
+// progress: the fabric's next possible grant. With nothing queued a
+// Tick grants nothing and mutates nothing (stale MSHR entries are
+// already semantically absent — lookups check fill > now — so deferring
+// the lazy trim changes no behaviour), which lets the skip-ahead loop
+// bypass idle fabrics entirely.
+func (s *sharedICache) nextEvent(now uint64) uint64 {
+	return s.fabric.NextEvent(now)
 }
 
 // Stats of the underlying cache.

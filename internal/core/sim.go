@@ -18,9 +18,13 @@ import (
 type coreSim struct {
 	id int
 
-	src    trace.Source
-	peeked *trace.Record
-	srcEOF bool
+	src trace.Source
+	// peeked/hasPeeked buffer one look-ahead record by value: a pointer
+	// here would force every record returned by Next onto the heap
+	// (one allocation per record, the dominant churn of the hot loop).
+	peeked    trace.Record
+	hasPeeked bool
+	srcEOF    bool
 
 	fe        *frontend.FrontEnd
 	be        *backend.Backend
@@ -36,7 +40,7 @@ type coreSim struct {
 }
 
 func (c *coreSim) peek() (trace.Record, bool) {
-	if c.peeked == nil {
+	if !c.hasPeeked {
 		if c.srcEOF {
 			return trace.Record{}, false
 		}
@@ -45,12 +49,13 @@ func (c *coreSim) peek() (trace.Record, bool) {
 			c.srcEOF = true
 			return trace.Record{}, false
 		}
-		c.peeked = &rec
+		c.peeked = rec
+		c.hasPeeked = true
 	}
-	return *c.peeked, true
+	return c.peeked, true
 }
 
-func (c *coreSim) pop() { c.peeked = nil }
+func (c *coreSim) pop() { c.hasPeeked = false }
 
 // Simulator runs one workload on one ACMP configuration. It is single
 // use: construct, Run once, read the Result.
@@ -80,11 +85,13 @@ func New(cfg Config, sources []trace.Source) (*Simulator, error) {
 		mem: memsys.New(memCfg),
 	}
 
-	// Fetch ports per core.
+	// Fetch ports per core. All ports share one request arena: the
+	// Simulator is single-goroutine, so slab handout needs no locking.
+	arena := &reqArena{}
 	ports := make([]frontend.ICachePort, cfg.Cores())
 	newPrivate := func(core int) (*cachesim.Cache, frontend.ICachePort) {
 		cache := cachesim.New(cfg.ICache)
-		return cache, &privatePort{cache: cache, mem: s.mem, core: core, cacheLat: cfg.ICacheLatency}
+		return cache, &privatePort{cache: cache, mem: s.mem, core: core, cacheLat: cfg.ICacheLatency, arena: arena}
 	}
 	var privCaches []*cachesim.Cache = make([]*cachesim.Cache, cfg.Cores())
 	switch cfg.Organization {
@@ -100,7 +107,7 @@ func New(cfg Config, sources []trace.Source) (*Simulator, error) {
 			for k := 0; k < cfg.CPC; k++ {
 				members[k] = 1 + g*cfg.CPC + k
 			}
-			sc := newSharedICache(cfg, members, s.mem)
+			sc := newSharedICache(cfg, members, s.mem, arena)
 			s.shared = append(s.shared, sc)
 			for k, core := range members {
 				ports[core] = sc.port(k)
@@ -111,7 +118,7 @@ func New(cfg Config, sources []trace.Source) (*Simulator, error) {
 		for i := range members {
 			members[i] = i
 		}
-		sc := newSharedICache(cfg, members, s.mem)
+		sc := newSharedICache(cfg, members, s.mem, arena)
 		s.shared = append(s.shared, sc)
 		for i := range members {
 			ports[i] = sc.port(i)
@@ -219,6 +226,18 @@ func (c *coreSim) account(committed int) {
 	}
 }
 
+// skipAccount books n elapsed zero-commit cycles to the current
+// section, the bulk form of n account(0) calls. The section cannot
+// flip inside a skipped window: inParallel changes only in handleSync,
+// which runs only on real ticks.
+func (c *coreSim) skipAccount(n uint64) {
+	if c.inParallel {
+		c.parallelCycles += n
+	} else {
+		c.serialCycles += n
+	}
+}
+
 func (s *Simulator) allFinished() bool {
 	for _, c := range s.cores {
 		if !c.finished {
@@ -270,7 +289,21 @@ const defaultMaxCycles = 1 << 27
 // Run executes the simulation to completion and returns the collected
 // results. It errors if the cycle bound is exceeded (deadlock guard) or
 // if Run was already called.
-func (s *Simulator) Run() (*Result, error) {
+//
+// Run uses an event-driven fast path: whenever every unit is provably
+// idle it jumps straight to the earliest next-event cycle, replaying
+// the skipped window as bulk stall accounting instead of per-cycle
+// ticks. The Result is bit-identical to RunReference's naive loop (see
+// docs/PERFORMANCE.md for the contract and its invariants).
+func (s *Simulator) Run() (*Result, error) { return s.run(true) }
+
+// RunReference executes the simulation with the naive
+// tick-every-unit-every-cycle loop, no skip-ahead. It exists as the
+// semantic reference for differential tests of the fast path; results
+// must be deep-equal to Run's on every workload and configuration.
+func (s *Simulator) RunReference() (*Result, error) { return s.run(false) }
+
+func (s *Simulator) run(fast bool) (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("core: Simulator is single-use; construct a new one")
 	}
@@ -284,6 +317,20 @@ func (s *Simulator) Run() (*Result, error) {
 		if now >= maxCycles {
 			return nil, fmt.Errorf("core: exceeded %d cycles (deadlock or runaway trace)", maxCycles)
 		}
+		if fast {
+			if next := s.nextEvent(now); next > now {
+				// Everything idles until next: account the window in
+				// bulk and jump. Clamping to the cycle bound keeps the
+				// deadlock guard (and a true deadlock's next == never)
+				// on the naive loop's error path.
+				if next > maxCycles {
+					next = maxCycles
+				}
+				s.skipTo(now, next)
+				now = next
+				continue
+			}
+		}
 		for _, sc := range s.shared {
 			sc.Tick(now)
 		}
@@ -293,6 +340,104 @@ func (s *Simulator) Run() (*Result, error) {
 		now++
 	}
 	return s.collect(now), nil
+}
+
+// nextEvent returns the earliest cycle ≥ now at which any unit can make
+// progress. A return of now means some unit is active and this cycle
+// must be simulated; a later cycle T is a proof that ticking every
+// cycle in [now, T) would change nothing but idle-stall accounting,
+// which skipTo reproduces in bulk. Sources of events:
+//
+//   - shared-cache fabrics: the next cycle a queued request can be
+//     granted (idle fabrics never fire on their own);
+//   - cores: a consumable trace record, a non-empty instruction queue
+//     (commit pacing is not skipped), or the front-end's own clock —
+//     resolved fill arrivals and redirect-bubble expiry.
+//
+// Finished cores are inert, and cores blocked in the runtime wake only
+// through another core's sync handling, which happens on real ticks
+// only — neither contributes an event.
+func (s *Simulator) nextEvent(now uint64) uint64 {
+	const never = ^uint64(0)
+	event := never
+	for _, sc := range s.shared {
+		e := sc.nextEvent(now)
+		if e <= now {
+			return now
+		}
+		if e < event {
+			event = e
+		}
+	}
+	for _, c := range s.cores {
+		if c.finished || s.rt.Blocked(c.id) {
+			continue
+		}
+		if !c.be.Drained() {
+			return now
+		}
+		if rec, ok := c.peek(); ok {
+			switch rec.Kind {
+			case trace.KindFetchBlock:
+				if c.fe.CanAccept(now) {
+					return now
+				}
+				// Blocked on a redirect bubble (expiry is a front-end
+				// event below) or a full FTQ (drains only through
+				// front-end progress, also an event below).
+			case trace.KindIPCSet:
+				return now
+			default:
+				// Sync records consume once both ends are drained; the
+				// back-end already is.
+				if c.fe.Drained() {
+					return now
+				}
+			}
+		}
+		e, idle := c.fe.NextEvent(now)
+		if !idle {
+			return now
+		}
+		if e < event {
+			event = e
+		}
+	}
+	return event
+}
+
+// skipTo bulk-accounts the idle window [now, target) for every core,
+// reproducing exactly what per-cycle ticking would have recorded:
+// runtime-blocked cores book sync stalls; running-but-stalled cores
+// book their front-end's stall classification, split into the
+// piecewise-constant sub-windows StallWindow reports (a request's
+// bus-traversal window ending mid-skip flips attribution from bus
+// latency to cache miss, say). Shared caches need no accounting — an
+// idle fabric's tick is a no-op, which is what made the skip legal.
+func (s *Simulator) skipTo(now, target uint64) {
+	for _, c := range s.cores {
+		if c.finished {
+			continue
+		}
+		if s.rt.Blocked(c.id) {
+			c.be.SkipIdle(backend.StallSync, target-now)
+			c.skipAccount(target - now)
+			continue
+		}
+		for t := now; t < target; {
+			kind, until := c.fe.StallWindow(t)
+			end := target
+			if until < end {
+				end = until
+			}
+			if end <= t {
+				panic("core: stall window does not advance")
+			}
+			c.be.SkipIdle(kind, end-t)
+			c.skipAccount(end - t)
+			t = end
+		}
+	}
 }
 
 // CoreResult is per-core output.

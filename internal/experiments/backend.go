@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sharedicache/internal/core"
 	"sharedicache/internal/synth"
@@ -106,7 +107,11 @@ func newBackend(name string, opts Options) (Backend, error) {
 
 func init() {
 	RegisterBackend(DefaultBackend, func(opts Options) (Backend, error) {
-		return &detailedBackend{opts: opts}, nil
+		return &detailedBackend{
+			opts:   opts,
+			synths: map[string]*synthEntry{},
+			warms:  map[warmKey]*warmEntry{},
+		}, nil
 	})
 	RegisterBackend("analytical", func(opts Options) (Backend, error) {
 		return &analyticalBackend{opts: opts}, nil
@@ -118,8 +123,131 @@ func init() {
 // run the full ACMP model. It is bit-identical to the pre-registry
 // code and remains the fidelity reference every other backend is
 // judged against.
+//
+// Workload synthesis and steady-state warm-line derivation are
+// memoised across the design points of one campaign: every point of a
+// Fig 7 sweep shares (workers, instructions, seed) — fixed in opts at
+// construction — so the memo key reduces to the benchmark name (plus
+// line sizes for warm sets), and the 52-point space synthesises each
+// benchmark once instead of 52 times. Workloads are immutable after
+// synth.New and warm-line slices are only read by Prewarm, so entries
+// are shared across concurrent Execute calls without copying.
 type detailedBackend struct {
 	opts Options
+
+	mu     sync.Mutex
+	synths map[string]*synthEntry
+	warms  map[warmKey]*warmEntry
+
+	synthHits, synthMisses     atomic.Uint64
+	prewarmHits, prewarmMisses atomic.Uint64
+}
+
+// synthEntry memoises one benchmark's synthesised workload. The
+// per-entry once lets distinct benchmarks synthesise concurrently
+// while concurrent requests for the same benchmark wait for one
+// leader, like the Runner's singleflight but keyed by benchmark.
+type synthEntry struct {
+	once sync.Once
+	w    *synth.Workload
+	err  error
+}
+
+// warmKey identifies one memoised steady-state warm-line set. The
+// I-cache and L2 line sizes are config axes, so they stay in the key
+// even though the Fig 7 space never varies them.
+type warmKey struct {
+	bench       string
+	icLineBytes int
+	l2LineBytes int
+}
+
+type warmEntry struct {
+	once   sync.Once
+	ic, l2 [][]uint64
+}
+
+// workload returns the memoised synthesis output for bench.
+func (b *detailedBackend) workload(bench string) (*synth.Workload, error) {
+	b.mu.Lock()
+	e, ok := b.synths[bench]
+	if !ok {
+		e = &synthEntry{}
+		b.synths[bench] = e
+	}
+	b.mu.Unlock()
+	if ok {
+		b.synthHits.Add(1)
+	} else {
+		b.synthMisses.Add(1)
+	}
+	e.once.Do(func() {
+		p, found := synth.ProfileByName(bench)
+		if !found {
+			e.err = fmt.Errorf("unknown benchmark %q", bench)
+			return
+		}
+		e.w, e.err = synth.New(p, synth.Config{
+			Workers:            b.opts.Workers,
+			MasterInstructions: b.opts.Instructions,
+			Seed:               b.opts.Seed,
+		})
+	})
+	return e.w, e.err
+}
+
+// warmLines returns the memoised per-thread steady-state line sets for
+// bench at the given line geometries. Callers must treat the returned
+// slices as read-only; they are shared across design points.
+func (b *detailedBackend) warmLines(bench string, w *synth.Workload, icLineBytes, l2LineBytes int) (ic, l2 [][]uint64) {
+	key := warmKey{bench: bench, icLineBytes: icLineBytes, l2LineBytes: l2LineBytes}
+	b.mu.Lock()
+	e, ok := b.warms[key]
+	if !ok {
+		e = &warmEntry{}
+		b.warms[key] = e
+	}
+	b.mu.Unlock()
+	if ok {
+		b.prewarmHits.Add(1)
+	} else {
+		b.prewarmMisses.Add(1)
+	}
+	e.once.Do(func() {
+		n := w.NumThreads()
+		e.ic = make([][]uint64, n)
+		e.l2 = make([][]uint64, n)
+		for i := 0; i < n; i++ {
+			e.ic[i] = w.WarmLines(i, icLineBytes)
+			e.l2[i] = w.L2WarmLines(i, l2LineBytes)
+		}
+	})
+	return e.ic, e.l2
+}
+
+// MemoStats is a point-in-time snapshot of the synthesis/prewarm memo
+// counters a backend may keep (see MemoStatsProvider).
+type MemoStats struct {
+	SynthHits, SynthMisses     uint64
+	PrewarmHits, PrewarmMisses uint64
+}
+
+// MemoStatsProvider is implemented by backends that memoise derived
+// workload state across design points. The Runner exposes the counters
+// on its metrics registry (runner_synth_memo_* / runner_prewarm_memo_*)
+// when both a registry and such a backend are attached.
+type MemoStatsProvider interface {
+	MemoStats() MemoStats
+}
+
+// MemoStats reports the memo's hit/miss counters.
+func (b *detailedBackend) MemoStats() MemoStats {
+	return MemoStats{
+		SynthHits:     b.synthHits.Load(),
+		SynthMisses:   b.synthMisses.Load(),
+		PrewarmHits:   b.prewarmHits.Load(),
+		PrewarmMisses: b.prewarmMisses.Load(),
+	}
 }
 
 func (b *detailedBackend) Name() string { return DefaultBackend }
@@ -133,15 +261,7 @@ func (b *detailedBackend) Fingerprint() string { return "detailed/v1" }
 // interruptible; ctx cancellation is handled by the engine before the
 // point starts.
 func (b *detailedBackend) Execute(_ context.Context, bench string, cfg core.Config, prewarm bool) (*core.Result, error) {
-	p, ok := synth.ProfileByName(bench)
-	if !ok {
-		return nil, fmt.Errorf("unknown benchmark %q", bench)
-	}
-	w, err := synth.New(p, synth.Config{
-		Workers:            b.opts.Workers,
-		MasterInstructions: b.opts.Instructions,
-		Seed:               b.opts.Seed,
-	})
+	w, err := b.workload(bench)
 	if err != nil {
 		return nil, err
 	}
@@ -154,12 +274,7 @@ func (b *detailedBackend) Execute(_ context.Context, bench string, cfg core.Conf
 		return nil, err
 	}
 	if prewarm {
-		ic := make([][]uint64, len(srcs))
-		l2 := make([][]uint64, len(srcs))
-		for i := range srcs {
-			ic[i] = w.WarmLines(i, cfg.ICache.LineBytes)
-			l2[i] = w.L2WarmLines(i, cfg.Mem.L2.LineBytes)
-		}
+		ic, l2 := b.warmLines(bench, w, cfg.ICache.LineBytes, cfg.Mem.L2.LineBytes)
 		sim.Prewarm(ic, l2)
 	}
 	return sim.Run()

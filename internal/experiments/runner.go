@@ -233,7 +233,34 @@ func (r *Runner) backend(name string) (Backend, error) {
 		return nil, err
 	}
 	r.backends[name] = b
+	if r.metrics != nil {
+		registerMemoCounters(r.metrics, name, b)
+	}
 	return b, nil
+}
+
+// registerMemoCounters exposes a memoising backend's synthesis and
+// prewarm hit/miss counters as func-backed series, sampled at scrape
+// time from the backend's own atomics. Backends without a memo (the
+// analytical backend derives nothing worth caching) register nothing.
+func registerMemoCounters(reg *metrics.Registry, name string, b Backend) {
+	p, ok := b.(MemoStatsProvider)
+	if !ok {
+		return
+	}
+	l := metrics.L("backend", name)
+	reg.CounterFunc("runner_synth_memo_hits_total",
+		"workload-synthesis memo hits across design points, by backend",
+		func() float64 { return float64(p.MemoStats().SynthHits) }, l)
+	reg.CounterFunc("runner_synth_memo_misses_total",
+		"workload syntheses actually performed (memo misses), by backend",
+		func() float64 { return float64(p.MemoStats().SynthMisses) }, l)
+	reg.CounterFunc("runner_prewarm_memo_hits_total",
+		"steady-state warm-line memo hits across design points, by backend",
+		func() float64 { return float64(p.MemoStats().PrewarmHits) }, l)
+	reg.CounterFunc("runner_prewarm_memo_misses_total",
+		"warm-line set derivations actually performed (memo misses), by backend",
+		func() float64 { return float64(p.MemoStats().PrewarmMisses) }, l)
 }
 
 // BackendFingerprint resolves the store-key identity of a backend
@@ -322,6 +349,11 @@ func (r *Runner) SetMetrics(reg *metrics.Registry) {
 	r.mu.Lock()
 	r.metrics = reg
 	rep := r.reporter
+	if reg != nil {
+		for name, b := range r.backends {
+			registerMemoCounters(reg, name, b)
+		}
+	}
 	r.mu.Unlock()
 	if reg != nil && rep != nil {
 		r.registerStallShares(reg)

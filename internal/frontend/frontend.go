@@ -176,21 +176,29 @@ func (f *FrontEnd) findBuffer(lineAddr uint64) int {
 	return -1
 }
 
-// liveLines collects the lines FTQ entries have issued but not yet
-// consumed past, mapped to the oldest entry needing each: those line
-// buffers are still owed to the pipeline, and evicting one forces a
-// duplicate fetch.
-func (f *FrontEnd) liveLines() map[uint64]int {
-	live := make(map[uint64]int, len(f.bufs))
-	for i := len(f.ftq) - 1; i >= 0; i-- {
+// liveOwner reports whether lineAddr is live — issued but not yet
+// consumed past by some FTQ entry, so its line buffer is still owed to
+// the pipeline and evicting it forces a duplicate fetch — and if so the
+// oldest (lowest-index) entry needing it. It scans the FTQ directly
+// instead of materialising a line→owner map per eviction decision; the
+// FTQ and per-entry line counts are small, and the hot loop stays
+// allocation-free.
+func (f *FrontEnd) liveOwner(lineAddr uint64) (int, bool) {
+	for i := range f.ftq {
 		e := &f.ftq[i]
-		for off := e.consumed; off < e.needIssued; {
-			line := (e.addr + uint64(off)) & f.lineMask
-			live[line] = i // older entries overwrite younger owners
-			off = uint32(line + uint64(f.cfg.LineBytes) - e.addr)
+		if e.needIssued <= e.consumed {
+			continue
+		}
+		// The issued-not-consumed bytes [addr+consumed, addr+needIssued)
+		// are contiguous, so the lines they touch are exactly the range
+		// [first, last] — an interval test instead of a line walk.
+		first := (e.addr + uint64(e.consumed)) & f.lineMask
+		last := (e.addr + uint64(e.needIssued) - 1) & f.lineMask
+		if lineAddr >= first && lineAddr <= last {
+			return i, true
 		}
 	}
-	return live
+	return 0, false
 }
 
 // allocBuffer picks a victim buffer for a request by FTQ entry
@@ -204,7 +212,6 @@ func (f *FrontEnd) liveLines() map[uint64]int {
 func (f *FrontEnd) allocBuffer(forEntry int) int {
 	victim := -1
 	lastResort, lastOwner := -1, 0
-	var live map[uint64]int
 	for i := range f.bufs {
 		b := &f.bufs[i]
 		if b.pending != nil || b.inUse {
@@ -213,10 +220,7 @@ func (f *FrontEnd) allocBuffer(forEntry int) int {
 		if !b.valid {
 			return i
 		}
-		if live == nil {
-			live = f.liveLines()
-		}
-		if owner, ok := live[b.lineAddr]; ok {
+		if owner, ok := f.liveOwner(b.lineAddr); ok {
 			if owner > lastOwner {
 				lastResort, lastOwner = i, owner
 			}
@@ -338,18 +342,40 @@ func (f *FrontEnd) deliver(now uint64, be *backend.Backend) {
 	e.consumed += uint32(n * 4)
 	f.stats.InstrDelivered += uint64(n)
 	if e.consumed >= e.length {
-		f.ftq = f.ftq[1:]
+		// Pop by copying down instead of reslicing forward: the slice
+		// keeps its backing array, so a long run never reallocates the
+		// FTQ past its configured depth.
+		copy(f.ftq, f.ftq[1:])
+		f.ftq = f.ftq[:len(f.ftq)-1]
 	}
 }
+
+// never marks a next-event horizon that no front-end-internal clock
+// will reach: the state can only change through an external wake-up
+// (a bus grant, a runtime release) that forces a real tick anyway.
+const never = ^uint64(0)
 
 // BlockReason classifies what the front-end is blocked on at cycle now,
 // for CPI-stack attribution when the back-end queue runs dry.
 func (f *FrontEnd) BlockReason(now uint64) backend.StallKind {
+	k, _ := f.StallWindow(now)
+	return k
+}
+
+// StallWindow is the bulk-accounting form of BlockReason: it returns
+// the stall classification at cycle now plus the first later cycle at
+// which that classification can change on its own clock (never when
+// only an external event — a grant, a fill latch, a runtime release —
+// can change it; those all force a real tick). The skip-ahead loop
+// replays a skipped window as piecewise-constant stall sub-windows, so
+// the CPI stack comes out identical to per-cycle attribution.
+// BlockReason delegates here, which keeps the two from drifting.
+func (f *FrontEnd) StallWindow(now uint64) (backend.StallKind, uint64) {
 	if now < f.stallUntil {
-		return backend.StallBranch
+		return backend.StallBranch, f.stallUntil
 	}
 	if len(f.ftq) == 0 {
-		return backend.StallDrain
+		return backend.StallDrain, never
 	}
 	e := &f.ftq[0]
 	line := (e.addr + uint64(e.consumed)) & f.lineMask
@@ -358,14 +384,79 @@ func (f *FrontEnd) BlockReason(now uint64) backend.StallKind {
 		if b.valid {
 			// Data present; the stall is elsewhere (delivery this
 			// cycle will drain it).
-			return backend.StallDrain
+			return backend.StallDrain, never
 		}
-		return b.pending.Stall(now)
+		return b.pending.StallWindow(now)
 	}
 	// Request not yet issued (buffer shortage): the front-end cannot
 	// even ask — classify as congestion, since more buffers or more
 	// bandwidth would relieve it.
-	return backend.StallBusQueue
+	return backend.StallBusQueue, never
+}
+
+// NextEvent reports whether the front-end is idle at cycle now — a
+// Tick would change no state beyond the stall attribution the caller
+// bulk-accounts via StallWindow — and if so the earliest front-end
+// clock (a resolved fill's arrival, the end of a redirect bubble) at
+// which that stops holding; never when only an external event can wake
+// it. idle=false means Tick must run at now. The checks mirror Tick's
+// three stages:
+//
+//   - fill latch: a resolved pending request that is Ready now would
+//     latch (active); one resolved for later contributes its ReadyAt.
+//     Unresolved requests wake through their fabric's grant, which is
+//     a separate next-event source.
+//   - issue: active if the head line needs an issue-cursor rewind, or
+//     if the first unissued line of any FTQ entry is either already
+//     buffered (the cursor would advance and touch LRU state) or could
+//     get a buffer from allocBuffer; once allocBuffer fails, issue
+//     returns, so nothing past the first unissued line can act.
+//   - deliver: active if the head line sits valid in a buffer (even a
+//     zero-instruction delivery touches LRU and in-use marks). A set
+//     in-use mark is transient within one Tick; seeing one at rest
+//     forces a tick, after which the window can open.
+func (f *FrontEnd) NextEvent(now uint64) (event uint64, idle bool) {
+	event = never
+	if now < f.stallUntil {
+		event = f.stallUntil
+	}
+	for i := range f.bufs {
+		b := &f.bufs[i]
+		if b.inUse {
+			return 0, false
+		}
+		if b.pending != nil && b.pending.Resolved {
+			if b.pending.ReadyAt <= now {
+				return 0, false
+			}
+			if b.pending.ReadyAt < event {
+				event = b.pending.ReadyAt
+			}
+		}
+	}
+	if len(f.ftq) > 0 {
+		e := &f.ftq[0]
+		line := (e.addr + uint64(e.consumed)) & f.lineMask
+		if j := f.findBuffer(line); j < 0 {
+			if e.needIssued > e.consumed {
+				return 0, false // head rewind pending
+			}
+		} else if f.bufs[j].valid {
+			return 0, false // deliver would act
+		}
+	}
+	for i := range f.ftq {
+		e := &f.ftq[i]
+		if e.needIssued >= e.length {
+			continue
+		}
+		line := (e.addr + uint64(e.needIssued)) & f.lineMask
+		if f.findBuffer(line) >= 0 || f.allocBuffer(i) >= 0 {
+			return 0, false // issue would act
+		}
+		break // buffers exhausted: issue returns here
+	}
+	return event, true
 }
 
 // Drained reports whether the FTQ is empty and no fills are pending,

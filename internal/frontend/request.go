@@ -41,16 +41,31 @@ func (r *LineRequest) Ready(now uint64) bool {
 // Stall classifies what a core blocked on this request at cycle now is
 // waiting for.
 func (r *LineRequest) Stall(now uint64) backend.StallKind {
+	k, _ := r.StallWindow(now)
+	return k
+}
+
+// StallWindow returns the Stall classification at cycle now plus the
+// first later cycle at which it can change on the request's own clock:
+// the end of the bus-traversal + SRAM window for a granted resolved
+// request, never otherwise (an ungranted or unresolved request changes
+// classification only when a bus grant resolves it, which forces a
+// real simulation tick).
+func (r *LineRequest) StallWindow(now uint64) (backend.StallKind, uint64) {
 	if !r.Granted {
-		return backend.StallBusQueue
+		return backend.StallBusQueue, never
 	}
-	if now < r.GrantAt+uint64(r.BusLatency+r.CacheLatency) || !r.Resolved {
+	if traversal := r.GrantAt + uint64(r.BusLatency+r.CacheLatency); now < traversal || !r.Resolved {
+		kind := backend.StallCacheHit
 		if r.Shared {
-			return backend.StallBusLatency
+			kind = backend.StallBusLatency
 		}
-		return backend.StallCacheHit
+		if !r.Resolved {
+			return kind, never
+		}
+		return kind, traversal
 	}
-	return backend.StallCacheMiss
+	return backend.StallCacheMiss, never
 }
 
 // ICachePort is a core's path to its instruction cache: private ports

@@ -130,6 +130,21 @@ func (b *Bus) Pending() int {
 // Busy reports whether the bus is occupied at cycle now.
 func (b *Bus) Busy(now uint64) bool { return b.busyUntil > now }
 
+// NextEvent returns the earliest cycle ≥ now at which Tick can grant a
+// request: now when a request is pending and the bus is free, the end
+// of the current transfer when it is busy, and never (^uint64(0)) when
+// nothing is queued — an idle bus's Tick changes no state, so the
+// skip-ahead loop need not call it until a Submit forces a real tick.
+func (b *Bus) NextEvent(now uint64) uint64 {
+	if b.Pending() == 0 {
+		return ^uint64(0)
+	}
+	if b.busyUntil > now {
+		return b.busyUntil
+	}
+	return now
+}
+
 // Tick performs one arbitration cycle at time now. If the bus is free
 // and a request is pending, it grants exactly one request round-robin
 // and returns it with ok=true.
@@ -164,6 +179,7 @@ func (b *Bus) Stats() Stats { return b.stats }
 type Fabric struct {
 	buses     []*Bus
 	lineShift uint
+	grants    []Grant // Tick's reusable result buffer
 }
 
 // NewFabric builds nBuses buses for n requesters. lineBytes determines
@@ -206,15 +222,28 @@ func (f *Fabric) Submit(now uint64, req Request) {
 }
 
 // Tick arbitrates every bus for cycle now, returning all grants (at
-// most one per bus).
+// most one per bus). The returned slice is reused by the next Tick;
+// callers consume it before ticking again.
 func (f *Fabric) Tick(now uint64) []Grant {
-	var grants []Grant
+	f.grants = f.grants[:0]
 	for _, b := range f.buses {
 		if g, ok := b.Tick(now); ok {
-			grants = append(grants, g)
+			f.grants = append(f.grants, g)
 		}
 	}
-	return grants
+	return f.grants
+}
+
+// NextEvent returns the earliest cycle ≥ now at which any bus of the
+// fabric can grant a request (never when all queues are empty).
+func (f *Fabric) NextEvent(now uint64) uint64 {
+	next := ^uint64(0)
+	for _, b := range f.buses {
+		if e := b.NextEvent(now); e < next {
+			next = e
+		}
+	}
+	return next
 }
 
 // Buses returns the number of buses in the fabric.

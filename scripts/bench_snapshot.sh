@@ -5,23 +5,45 @@
 # PRs instead of anecdotal. The committed snapshots live at the repo
 # root (BENCH_<pr>.json).
 #
+# The snapshot also stamps "speedup-vs-BENCH_8": the detailed backend's
+# sim-cycles/sec over the rate recorded in BENCH_8.json (the last
+# naive-loop snapshot), i.e. what the event-driven fast path buys on
+# this host. The field is null when either rate is unavailable. Point
+# BENCH_BASELINE at a different snapshot to rebase the comparison.
+#
 # The numbers are machine-dependent; a snapshot is comparable to the
-# machine and ratio within it (detailed vs analytical, par=1 vs par=4),
-# not to other hosts.
+# machine and ratio within it (detailed vs analytical, par=1 vs par=4,
+# speedup vs a baseline taken on the same host), not to other hosts.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
+baseline="${BENCH_BASELINE:-BENCH_8.json}"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^(BenchmarkSweepBackends|BenchmarkCampaignParallel)$' \
 	-benchtime 1x -timeout 30m . | tee "$raw" >&2
 
+# The detailed backend's rate from this run and from the baseline
+# snapshot, for the speedup stamp.
+rate=$(awk '$1 ~ /^BenchmarkSweepBackends\/backend=detailed/ {
+	for (i = 3; i + 1 <= NF; i += 2) if ($(i+1) == "sim-cycles/sec") print $i
+}' "$raw")
+base=$(awk -F'"sim-cycles/sec":' '/backend=detailed/ && NF > 1 {
+	split($2, a, /[,}]/); print a[1]
+}' "$baseline" 2>/dev/null || true)
+
 {
 	printf '{\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	if [ -n "$rate" ] && [ -n "$base" ]; then
+		printf '  "speedup-vs-BENCH_8": %s,\n' \
+			"$(awk -v r="$rate" -v b="$base" 'BEGIN { printf "%.2f", r / b }')"
+	else
+		printf '  "speedup-vs-BENCH_8": null,\n'
+	fi
 	printf '  "benchmarks": [\n'
 	# Each result line is: Name-<procs> N <value> <unit> [<value> <unit>]...
 	awk '/^Benchmark/ {
