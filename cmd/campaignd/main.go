@@ -68,6 +68,7 @@ func main() {
 		addr      = flag.String("addr", ":8417", "listen address for the store and dispatch planes")
 		storeDir  = flag.String("store", "", "run-store directory backing the store plane (required)")
 		join      = flag.String("join", "", "run as a worker against the coordinator at this URL instead of serving")
+		serve     = flag.Bool("serve", false, "persistent service mode: start with no plan and accept campaigns over POST /v1/campaign until interrupted (design-space flags are ignored)")
 		ttl       = flag.Duration("ttl", campaignd.DefaultTTL, "lease TTL; a worker missing heartbeats this long forfeits its batch")
 		batch     = flag.Int("lease-batch", 0, "max design points per lease; 0 derives the batch from the observed mean point latency")
 		grace     = flag.Duration("grace", 2*time.Second, "keep serving this long after completion so polling workers see the campaign finish")
@@ -183,13 +184,18 @@ func main() {
 	// the cheap phases, and the triage results land in the store, so
 	// the dispatch plane marks them done at startup); what workers
 	// lease is the frontier's detailed points. Without it, the plan is
-	// the plain design-space sweep.
+	// the plain design-space sweep. With -serve, there is no initial
+	// plan at all: campaigns arrive over POST /v1/campaign.
 	var (
 		plan *experiments.Plan
 		rows []sweep.Row
 		ref  *refine.Result
 	)
-	if rf.Enabled() {
+	if *serve {
+		if rf.Enabled() {
+			fatal(errors.New("-serve accepts campaigns over the API; drop -refine"))
+		}
+	} else if rf.Enabled() {
 		if sf.Backend != "" {
 			fatal(errors.New("-refine assigns backends per phase; drop -backend"))
 		}
@@ -210,8 +216,12 @@ func main() {
 		plan, rows = space.Build(runner)
 	}
 
+	var points []experiments.Point
+	if plan != nil {
+		points = plan.Points()
+	}
 	srv, err := campaignd.New(campaignd.ServerConfig{
-		Runner: runner, Store: store, Points: plan.Points(),
+		Runner: runner, Store: store, Points: points,
 		TTL: *ttl, Batch: *batch, Metrics: reg, Tracer: tracer,
 		Reports: reporter,
 	})
@@ -231,6 +241,37 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: handler}
 	go httpSrv.Serve(ln)
+
+	// -serve: persistent service. Campaigns are enqueued, tracked and
+	// merged entirely over the API (POST /v1/campaign and friends); the
+	// process runs until interrupted, then reports the whole service
+	// lifetime's accounting in the same duplicates=... grammar the
+	// one-shot coordinator uses, so smoke tests can pin both.
+	if *serve {
+		batchDesc := fmt.Sprintf("batch %d", *batch)
+		if *batch == 0 {
+			batchDesc = "adaptive batch"
+		}
+		logger.Info("campaignd: serving campaigns",
+			"addr", ln.Addr().String(), "ttl", *ttl, "batch", batchDesc,
+			"pprof", *pprofOn, "trace", *traceOut != "", "report", *reportOut != "")
+		<-ctx.Done()
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "campaignd: service stopped: campaigns=%d points=%d writes=%d duplicates=%d expired_leases=%d\n",
+			st.Dispatch.Campaigns-1, st.Dispatch.Points, st.Store.Writes,
+			max64(0, st.Store.Writes-int64(st.Dispatch.Done)), st.Dispatch.ExpiredLeases)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+		if *traceOut != "" {
+			writeTrace("coordinator")
+		}
+		if *reportOut != "" {
+			writeReport("coordinator")
+		}
+		return
+	}
+
 	// Snapshot before serving: points already done (a warm store, or
 	// the refine prep's local phases) and writes already booked, so the
 	// completion accounting below describes only the served campaign.

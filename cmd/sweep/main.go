@@ -68,6 +68,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"sharedicache/internal/campaignd"
 	"sharedicache/internal/core"
@@ -77,6 +78,7 @@ import (
 	"sharedicache/internal/runstore"
 	"sharedicache/internal/simreport"
 	"sharedicache/internal/sweep"
+	"sharedicache/internal/synth"
 	"sharedicache/internal/tracing"
 )
 
@@ -91,6 +93,8 @@ type cliFlags struct {
 	storeDir *string
 	remote   *string
 	worker   *bool
+	submit   *bool
+	replay   *string
 	shard    *string
 	merge    *bool
 	storeop  *string
@@ -115,6 +119,8 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		storeDir: fs.String("store", "", "persistent run-store directory (second cache tier)"),
 		remote:   fs.String("remote", "", "campaignd coordinator URL serving the run store (replaces -store)"),
 		worker:   fs.Bool("worker", false, "with -remote: lease and simulate the coordinator's campaign instead of this sweep"),
+		submit:   fs.Bool("submit", false, "with -remote: enqueue this sweep on a serving coordinator (campaignd -serve), wait, and print its merged CSV"),
+		replay:   fs.String("replay", "", "with -remote: replay this arrival-trace CSV (tracegen -arrivals) open-loop against a serving coordinator, then print the campaign's merged CSV; design-space flags are ignored"),
 		shard:    fs.String("shard", "", "simulate only shard i/N of the design space into -store; no CSV"),
 		merge:    fs.Bool("merge", false, "render the CSV from the store without simulating"),
 		storeop:  fs.String("storeop", "", "run-store maintenance: 'index' or 'gc', then exit"),
@@ -241,6 +247,25 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "sweep: report: %d reports written to %s\n", n, *cf.report)
 		}()
+	}
+
+	// -submit / -replay: drive a serving coordinator's campaign API —
+	// this process simulates nothing; the service and its workers do.
+	if *cf.submit || *cf.replay != "" {
+		switch {
+		case *cf.remote == "":
+			fatal(errors.New("-submit/-replay require -remote URL (a campaignd -serve coordinator)"))
+		case *cf.submit && *cf.replay != "":
+			fatal(errors.New("-submit and -replay are mutually exclusive"))
+		case *cf.worker || *cf.shard != "" || *cf.merge || *cf.storeop != "" || cf.rf.Enabled():
+			fatal(errors.New("-submit/-replay drive a remote campaign; they do not compose with -worker, -shard, -merge, -storeop or -refine"))
+		}
+		if *cf.replay != "" {
+			runReplay(ctx, cf)
+		} else {
+			runSubmit(ctx, cf)
+		}
+		return
 	}
 
 	if *cf.worker {
@@ -460,6 +485,143 @@ func runRefine(ctx context.Context, cf *cliFlags, runner *experiments.Runner, lo
 		fmt.Fprintf(os.Stderr, "sweep: %d simulated, %d store hits, %d store writes\n",
 			runner.Simulations(), st.Hits, st.Writes)
 	}
+}
+
+// runSubmit enqueues this process's design space as a closed campaign
+// on a serving coordinator and prints the merged CSV once the service
+// (and its workers) complete it. The rows are expanded by the same
+// Space.Build the local sweep runs, and the coordinator renders them
+// through the same CSV emitter, so the fetched bytes are identical to
+// the single-process run's.
+func runSubmit(ctx context.Context, cf *cliFlags) {
+	client, err := campaignd.NewClient(*cf.remote)
+	if err != nil {
+		fatal(err)
+	}
+	opts, err := cf.sf.Options()
+	if err != nil {
+		fatal(err)
+	}
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
+	space, err := cf.sf.Space()
+	if err != nil {
+		fatal(err)
+	}
+	_, rows := space.Build(runner)
+	spec := campaignd.CampaignSpec{Name: "sweep-submit", Backend: cf.sf.Backend}
+	for _, m := range rows {
+		spec.Rows = append(spec.Rows, campaignd.PointSpec{
+			Bench: m.Bench, CPC: m.CPC, KB: m.KB, LB: m.LB, Bus: m.Bus,
+		})
+	}
+	reply, err := client.Enqueue(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: submitted campaign %d: %d rows, %d plan points\n",
+		reply.ID, len(spec.Rows), reply.Points)
+	awaitCampaign(ctx, client, reply.ID)
+}
+
+// runReplay submits an arrival trace against a serving coordinator
+// open-loop: the campaign is enqueued whole (held), then each row is
+// released at its trace-dictated offset regardless of completion — the
+// service can be pushed past saturation, and the coordinator's
+// arrival-lag histogram records how far behind the trace it ran. Once
+// every point completes, the merged CSV prints to stdout.
+func runReplay(ctx context.Context, cf *cliFlags) {
+	f, err := os.Open(*cf.replay)
+	if err != nil {
+		fatal(err)
+	}
+	trace, err := synth.ReadArrivals(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(trace) == 0 {
+		fatal(fmt.Errorf("trace %s has no arrivals", *cf.replay))
+	}
+	client, err := campaignd.NewClient(*cf.remote)
+	if err != nil {
+		fatal(err)
+	}
+	// The campaign backend is the trace's dominant stamp (row backends
+	// that match it stay implicit, preserving the CSV backend-column
+	// behaviour of the equivalent local `sweep -backend` run).
+	spec := campaignd.CampaignSpec{Name: "sweep-replay", Backend: trace[0].Point.Backend, Open: true}
+	for _, a := range trace {
+		row := campaignd.PointSpec{
+			Bench: a.Point.Bench, CPC: a.Point.CPC, KB: a.Point.KB, LB: a.Point.LB, Bus: a.Point.Bus,
+		}
+		if a.Point.Backend != spec.Backend {
+			row.Backend = a.Point.Backend
+		}
+		spec.Rows = append(spec.Rows, row)
+	}
+	reply, err := client.Enqueue(ctx, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: replay: campaign %d enqueued: %d arrivals over %s\n",
+		reply.ID, len(trace), trace[len(trace)-1].Offset.Round(time.Millisecond))
+	start := time.Now()
+	for k := 0; k < len(trace); {
+		if wait := trace[k].Offset - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				fatal(ctx.Err())
+			}
+		}
+		// Everything now due ships in one call; the submission never
+		// waits on completion — that is the open loop.
+		batch := []int{k}
+		k++
+		for k < len(trace) && trace[k].Offset <= time.Since(start) {
+			batch = append(batch, k)
+			k++
+		}
+		off := trace[batch[len(batch)-1]].Offset
+		if err := client.Arrive(ctx, reply.ID, batch, off.Milliseconds()); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: replay: %d arrivals submitted in %s\n",
+		len(trace), time.Since(start).Round(time.Millisecond))
+	awaitCampaign(ctx, client, reply.ID)
+}
+
+// awaitCampaign polls an enqueued campaign to completion and prints
+// its merged CSV to stdout.
+func awaitCampaign(ctx context.Context, client *campaignd.Client, id int) {
+	var st campaignd.CampaignStatus
+	for {
+		var err error
+		if st, err = client.CampaignStatus(ctx, id); err != nil {
+			fatal(err)
+		}
+		if st.Complete {
+			break
+		}
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+			fatal(ctx.Err())
+		}
+	}
+	body, err := client.CampaignCSV(ctx, id)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := os.Stdout.Write(body); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: campaign %d complete: %d points done, 0 simulated locally\n",
+		id, st.Points)
 }
 
 // storeMaint runs the -storeop maintenance path: the shared local

@@ -9,6 +9,15 @@
 //
 // The produced files round-trip through trace.Reader and can be fed to
 // the simulator via cmd/acmpsim-style drivers or the library API.
+//
+// With -arrivals MODE the command instead synthesises a campaign
+// arrival trace: the design space the axis flags describe is expanded
+// in sweep order and scheduled onto the mode's RPS curve, and the
+// resulting (arrival offset, design point, backend) rows are written
+// as CSV to stdout for `sweep -replay` to submit open-loop against a
+// serving campaignd coordinator:
+//
+//	tracegen -arrivals burst -bench UA,FT -start-rps 50 -burst-factor 4 > trace.csv
 package main
 
 import (
@@ -19,7 +28,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
+	"sharedicache/internal/experiments"
+	"sharedicache/internal/sweep"
 	"sharedicache/internal/synth"
 	"sharedicache/internal/trace"
 	"sharedicache/internal/tracing"
@@ -34,8 +46,38 @@ func main() {
 		out      = flag.String("out", ".", "output directory")
 		verify   = flag.Bool("verify", true, "read files back and compare record counts")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON span timeline to this file at exit (load in Perfetto)")
+
+		// Arrival-trace mode: the design-space axes mirror cmd/sweep's
+		// flags so a replayed campaign expands to the same rows a local
+		// sweep would, and the load-shape flags mirror the invitro
+		// generator's knobs.
+		arrivals    = flag.String("arrivals", "", "synthesise a campaign arrival trace instead of instruction traces: steady, sweep or burst (CSV on stdout)")
+		cpcs        = flag.String("cpc", "2,4,8", "with -arrivals: sharing degrees to sweep")
+		sizes       = flag.String("size", "16,32", "with -arrivals: shared I-cache sizes in KB")
+		lbs         = flag.String("lb", "4", "with -arrivals: line-buffer counts")
+		buses       = flag.String("buses", "1,2", "with -arrivals: bus counts")
+		backend     = flag.String("backend", "", "with -arrivals: simulation backend stamped on every row (empty keeps the service default)")
+		startRPS    = flag.Float64("start-rps", 10, "with -arrivals: slot-0 request rate")
+		targetRPS   = flag.Float64("target-rps", 100, "with -arrivals sweep: rate ceiling")
+		stepRPS     = flag.Float64("step-rps", 10, "with -arrivals sweep: per-slot rate increment")
+		burstFactor = flag.Float64("burst-factor", 4, "with -arrivals burst: burst-slot amplification")
+		burstEvery  = flag.Int("burst-every", 3, "with -arrivals burst: every n-th slot bursts")
+		slot        = flag.Duration("slot", time.Second, "with -arrivals: slot duration")
 	)
 	flag.Parse()
+
+	if *arrivals != "" {
+		if err := runArrivals(arrivalConfig{
+			mode: *arrivals, bench: *bench, workers: *workers,
+			cpcs: *cpcs, sizes: *sizes, lbs: *lbs, buses: *buses,
+			backend: *backend, n: *n, seed: *seed,
+			startRPS: *startRPS, targetRPS: *targetRPS, stepRPS: *stepRPS,
+			burstFactor: *burstFactor, burstEvery: *burstEvery, slot: *slot,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	p, ok := synth.ProfileByName(*bench)
 	if !ok {
@@ -92,6 +134,77 @@ func main() {
 		span.End()
 		fmt.Printf("%s: %d records, %d instructions\n", path, count, instr)
 	}
+}
+
+// arrivalConfig carries the -arrivals flag values into runArrivals.
+type arrivalConfig struct {
+	mode, bench                  string
+	workers                      int
+	cpcs, sizes, lbs, buses      string
+	backend                      string
+	n, seed                      uint64
+	startRPS, targetRPS, stepRPS float64
+	burstFactor                  float64
+	burstEvery                   int
+	slot                         time.Duration
+}
+
+// runArrivals expands the design space exactly as cmd/sweep does
+// (sweep.Space.Build over the same flag semantics), schedules the
+// resulting rows onto the requested RPS curve and writes the arrival
+// trace CSV to stdout. Rows carry the raw -backend flag value — not
+// the resolved backend name — so a replayed campaign adds the CSV
+// backend column under exactly the rule `sweep -backend` follows.
+func runArrivals(cfg arrivalConfig) error {
+	mode, err := synth.ParseArrivalMode(cfg.mode)
+	if err != nil {
+		return err
+	}
+	sf := sweep.Flags{
+		Bench: cfg.bench, CPCs: cfg.cpcs, Sizes: cfg.sizes,
+		LineBuffers: cfg.lbs, Buses: cfg.buses,
+		N: cfg.n, Workers: cfg.workers, Seed: cfg.seed,
+		Backend: cfg.backend,
+	}
+	opts, err := sf.Options()
+	if err != nil {
+		return err
+	}
+	space, err := sf.Space()
+	if err != nil {
+		return err
+	}
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		return err
+	}
+	_, rows := space.Build(runner)
+	if len(rows) == 0 {
+		return fmt.Errorf("design space expands to zero valid rows")
+	}
+	points := make([]synth.ArrivalPoint, len(rows))
+	for i, r := range rows {
+		points[i] = synth.ArrivalPoint{
+			Bench: r.Bench, CPC: r.CPC, KB: r.KB, LB: r.LB, Bus: r.Bus,
+			Backend: cfg.backend,
+		}
+	}
+	spec := synth.ArrivalSpec{
+		Mode: mode, StartRPS: cfg.startRPS, TargetRPS: cfg.targetRPS,
+		StepRPS: cfg.stepRPS, BurstFactor: cfg.burstFactor,
+		BurstEvery: cfg.burstEvery, Slot: cfg.slot,
+	}
+	arr, err := synth.SynthesizeArrivals(spec, points)
+	if err != nil {
+		return err
+	}
+	if err := synth.WriteArrivals(os.Stdout, arr); err != nil {
+		return err
+	}
+	last := arr[len(arr)-1].Offset
+	fmt.Fprintf(os.Stderr, "tracegen: arrivals: %d rows over %s (%s mode)\n",
+		len(arr), last.Round(time.Millisecond), mode)
+	return nil
 }
 
 func writeThread(path string, src trace.Source) (records, instructions uint64, err error) {

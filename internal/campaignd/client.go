@@ -217,6 +217,58 @@ func (c *Client) Campaign(ctx context.Context) (CampaignInfo, error) {
 	return info, err
 }
 
+// Enqueue submits a campaign spec to a serving coordinator and
+// returns its campaign ID and expanded plan size.
+func (c *Client) Enqueue(ctx context.Context, spec CampaignSpec) (EnqueueReply, error) {
+	var reply EnqueueReply
+	err := c.call(ctx, http.MethodPost, "/v1/campaign", spec, &reply)
+	return reply, err
+}
+
+// CampaignStatus fetches one enqueued campaign's progress.
+func (c *Client) CampaignStatus(ctx context.Context, id int) (CampaignStatus, error) {
+	var st CampaignStatus
+	err := c.call(ctx, http.MethodGet, fmt.Sprintf("/v1/campaign/%d", id), nil, &st)
+	return st, err
+}
+
+// Arrive releases held rows of an open-loop campaign; rows are
+// positions in the submitted CampaignSpec.Rows and offsetMillis the
+// trace offset the submission was due at (feeding the coordinator's
+// arrival-lag histogram).
+func (c *Client) Arrive(ctx context.Context, id int, rows []int, offsetMillis int64) error {
+	return c.call(ctx, http.MethodPost, fmt.Sprintf("/v1/campaign/%d/arrive", id),
+		arriveRequest{Rows: rows, OffsetMillis: offsetMillis}, nil)
+}
+
+// CampaignCSV fetches a completed campaign's merged CSV bytes; the
+// coordinator answers 409 (surfaced as an error) while any point is
+// outstanding.
+func (c *Client) CampaignCSV(ctx context.Context, id int) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+fmt.Sprintf("/v1/campaign/%d/csv", id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("campaignd: GET /v1/campaign/%d/csv: %s: %s",
+			id, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
 // Lease claims up to max plan points (0 = coordinator's default
 // batch). When the coordinator traces, the grant's TraceContext
 // carries the lease span's X-Trace-Context value for the worker to

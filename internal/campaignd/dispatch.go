@@ -20,6 +20,7 @@ const (
 	pointPending pointState = iota // waiting to be leased
 	pointLeased                    // owned by a live (or not-yet-expired) lease
 	pointDone                      // result published to the store
+	pointHeld                      // declared by an open campaign, not yet arrived
 )
 
 // lease is one worker's claim on a batch of points. It is renewed by
@@ -39,11 +40,19 @@ type lease struct {
 	span *tracing.ActiveSpan
 }
 
-// dispatch is the coordinator's work queue over one campaign plan. All
-// methods are safe for concurrent use. Lease expiry is lazy: every
-// mutating call first sweeps expired leases, so as long as any worker
-// is polling for work, crashed workers' points flow back into the
-// queue without a background janitor.
+// dispatch is the coordinator's work queue over the enqueued campaign
+// plans. All methods are safe for concurrent use. Lease expiry is
+// lazy: every mutating call first sweeps expired leases, so as long as
+// any worker is polling for work, crashed workers' points flow back
+// into the queue without a background janitor.
+//
+// The queue is multi-campaign: addCampaign appends a plan's points at
+// any time (the worker protocol is unchanged — workers see one global
+// point index space), campOf tracks ownership, and Lease draws each
+// batch from a single campaign chosen round-robin, so one giant
+// campaign cannot starve a later small one. Open-loop campaigns park
+// points in the held state until markArrived releases them, which is
+// how `sweep -replay` submits work at trace-dictated times.
 //
 // batch == 0 selects adaptive batch sizing: the queue tracks an EWMA
 // of the observed per-point completion latency (lease grant to lease
@@ -52,12 +61,14 @@ type lease struct {
 // enough to amortise the lease round trip, short enough that a crash
 // forfeits little work and heartbeats comfortably outpace the TTL.
 type dispatch struct {
-	points []experiments.Point
-	ttl    time.Duration
-	batch  int
-	now    func() time.Time
+	ttl   time.Duration
+	batch int
+	now   func() time.Time
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// points grows as campaigns are enqueued; every read goes through
+	// d.mu because append may move the backing array under a reader.
+	points  []experiments.Point
 	state   []pointState
 	done    []chan struct{} // done[i] closed when point i completes
 	byHash  map[string][]int
@@ -73,6 +84,20 @@ type dispatch struct {
 	// pointSec is the EWMA of observed seconds per completed point;
 	// zero until the first lease completes.
 	pointSec float64
+
+	// Multi-campaign bookkeeping: campOf[i] is the campaign owning
+	// point i, backendOf[i] the backend name its row resolves to (for
+	// the per-backend gauges), nCamps the campaigns enqueued so far and
+	// rr the fairness cursor Lease scans campaigns from.
+	campOf    []int
+	backendOf []string
+	nCamps    int
+	rr        int
+	// reg, once registerMetrics ran, lets addCampaign register gauges
+	// for backends that first appear in a later campaign;
+	// knownBackends dedups those registrations.
+	reg           *metrics.Registry
+	knownBackends map[string]bool
 
 	// tracer, when non-nil, records the dispatch-plane spans: a "lease"
 	// span per grant and a completed "enqueue" span per granted point
@@ -97,28 +122,130 @@ const (
 	ewmaAlpha = 0.3
 )
 
-// newDispatch builds the queue over the plan points; hashes[i] is
-// point i's content address, which lets store-plane writes complete
-// dispatch points.
-func newDispatch(points []experiments.Point, hashes []string, ttl time.Duration, batch int, now func() time.Time) *dispatch {
+// newDispatch builds the queue over an initial campaign's plan points
+// (possibly empty, for a serve-mode coordinator that starts idle);
+// hashes[i] is point i's content address, which lets store-plane
+// writes complete dispatch points, and backendOf[i] the backend name
+// feeding the per-backend gauges.
+func newDispatch(points []experiments.Point, hashes, backendOf []string, ttl time.Duration, batch int, now func() time.Time) *dispatch {
 	d := &dispatch{
-		points: points,
 		ttl:    ttl,
 		batch:  batch,
 		now:    now,
-		state:  make([]pointState, len(points)),
-		done:   make([]chan struct{}, len(points)),
 		byHash: make(map[string][]int, len(points)),
 		leases: map[string]*lease{},
 	}
-	start := now()
-	d.enqueued = make([]time.Time, len(points))
-	for i := range points {
-		d.done[i] = make(chan struct{})
-		d.byHash[hashes[i]] = append(d.byHash[hashes[i]], i)
-		d.enqueued[i] = start
-	}
+	d.addCampaign(points, hashes, backendOf, nil)
 	return d
+}
+
+// addCampaign appends one campaign's points to the queue and returns
+// the campaign's index and the global index of its first point.
+// held[i] parks point i in the held state — open-loop campaigns
+// declare their full plan up front but release rows only as the
+// replayed trace arrives — and nil makes every point leasable
+// immediately. Content addresses are global: a point whose hash
+// another campaign already published completes on that campaign's
+// store write, so overlapping campaigns never duplicate simulations.
+func (d *dispatch) addCampaign(points []experiments.Point, hashes, backendOf []string, held []bool) (camp, base int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	camp = d.nCamps
+	d.nCamps++
+	base = len(d.points)
+	start := d.now()
+	for i := range points {
+		st := pointPending
+		if held != nil && held[i] {
+			st = pointHeld
+		}
+		d.points = append(d.points, points[i])
+		d.state = append(d.state, st)
+		d.done = append(d.done, make(chan struct{}))
+		d.enqueued = append(d.enqueued, start)
+		d.campOf = append(d.campOf, camp)
+		d.backendOf = append(d.backendOf, backendOf[i])
+		d.byHash[hashes[i]] = append(d.byHash[hashes[i]], base+i)
+		if d.reg != nil {
+			d.registerBackendLocked(backendOf[i])
+		}
+	}
+	return camp, base
+}
+
+// markArrived releases held points to the queue (held -> pending, as
+// of now). Points already completed — deduplicated against another
+// campaign's store write, or resumed from a warm store — stay done;
+// their arrival is a no-op. Out-of-range indexes report an error.
+func (d *dispatch) markArrived(indexes []int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, i := range indexes {
+		if i < 0 || i >= len(d.points) {
+			return fmt.Errorf("campaignd: point index %d out of range", i)
+		}
+	}
+	now := d.now()
+	for _, i := range indexes {
+		if d.state[i] == pointHeld {
+			d.state[i] = pointPending
+			d.enqueued[i] = now
+		}
+	}
+	return nil
+}
+
+// pointsAt copies the plan points at the given (already-validated)
+// indexes. Reads go through the lock because addCampaign may move the
+// backing array.
+func (d *dispatch) pointsAt(indexes []int) []experiments.Point {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]experiments.Point, len(indexes))
+	for k, i := range indexes {
+		out[k] = d.points[i]
+	}
+	return out
+}
+
+// CampaignProgress is one campaign's point accounting.
+type CampaignProgress struct {
+	// Points is the campaign's plan size; Done counts results durably
+	// in the store; Held counts declared-but-unarrived open-loop
+	// points. The campaign is complete when Done == Points.
+	Points, Done, Held int
+}
+
+// campaignProgress snapshots one campaign's accounting.
+func (d *dispatch) campaignProgress(camp int) CampaignProgress {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var p CampaignProgress
+	for i, c := range d.campOf {
+		if c != camp {
+			continue
+		}
+		p.Points++
+		switch d.state[i] {
+		case pointDone:
+			p.Done++
+		case pointHeld:
+			p.Held++
+		}
+	}
+	return p
+}
+
+// activeCampaignsLocked counts campaigns with incomplete points.
+// Caller holds d.mu.
+func (d *dispatch) activeCampaignsLocked() int {
+	active := map[int]bool{}
+	for i, c := range d.campOf {
+		if d.state[i] != pointDone {
+			active[c] = true
+		}
+	}
+	return len(active)
 }
 
 // endLeaseSpanLocked finishes a lease's span with its outcome
@@ -210,10 +337,14 @@ func (d *dispatch) observeLocked(l *lease, completed int) {
 }
 
 // Lease hands out up to max pending points (at most the configured or
-// adaptive batch; max <= 0 means the full batch) in plan order, so
-// early rows stream out of the merge first. It returns no points when
-// everything is leased or done; allDone then distinguishes "poll
-// again" from "campaign complete".
+// adaptive batch; max <= 0 means the full batch). Each batch is drawn
+// from a single campaign, chosen round-robin from the fairness cursor
+// — FIFO within a campaign (plan order, so early rows stream out of
+// the merge first), fair across live campaigns so one giant plan
+// cannot starve a later small one; with one campaign this is exactly
+// plan-order dispatch. It returns no points when everything is
+// leased, held or done; allDone then distinguishes "poll again" from
+// "every enqueued campaign is complete".
 func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, deadline time.Time, allDone bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -222,12 +353,18 @@ func (d *dispatch) Lease(worker string, max int) (id string, indexes []int, dead
 		max = batch
 	}
 	d.expireLocked()
-	for i := range d.state {
-		if d.state[i] == pointPending {
-			indexes = append(indexes, i)
-			if len(indexes) == max {
-				break
+	for off := 0; off < d.nCamps && len(indexes) == 0; off++ {
+		camp := (d.rr + off) % d.nCamps
+		for i := range d.state {
+			if d.campOf[i] == camp && d.state[i] == pointPending {
+				indexes = append(indexes, i)
+				if len(indexes) == max {
+					break
+				}
 			}
+		}
+		if len(indexes) > 0 {
+			d.rr = (camp + 1) % d.nCamps
 		}
 	}
 	if len(indexes) == 0 {
@@ -371,8 +508,13 @@ func (d *dispatch) Release(id string, indexes []int) {
 	l.indexes = kept
 }
 
-// Done exposes point i's completion latch.
-func (d *dispatch) Done(i int) <-chan struct{} { return d.done[i] }
+// Done exposes point i's completion latch. The lock is for the slice
+// header, which addCampaign may move; the latch itself never changes.
+func (d *dispatch) Done(i int) <-chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.done[i]
+}
 
 // Batch reports the batch size the next lease would be granted at.
 func (d *dispatch) Batch() int {
@@ -391,8 +533,13 @@ type LeaseInfo struct {
 // DispatchStats is a snapshot of the queue for /v1/statsz.
 type DispatchStats struct {
 	Points, Done, Leased, Pending int
-	Leases                        int
-	ExpiredLeases                 int64
+	// Held counts declared-but-unarrived open-loop points; Campaigns
+	// counts campaigns enqueued over the queue's lifetime and
+	// ActiveCampaigns those with incomplete points.
+	Held                       int
+	Campaigns, ActiveCampaigns int
+	Leases                     int
+	ExpiredLeases              int64
 	// GrantedLeases counts Lease grants; CompletedLeases counts
 	// Completes that reported work; ForfeitedLeases counts Completes
 	// with no indexes (a worker handing a whole batch back);
@@ -416,6 +563,8 @@ func (d *dispatch) Stats() DispatchStats {
 	d.expireLocked()
 	st := DispatchStats{
 		Points:          len(d.points),
+		Campaigns:       d.nCamps,
+		ActiveCampaigns: d.activeCampaignsLocked(),
 		Leases:          len(d.leases),
 		ExpiredLeases:   d.expired,
 		GrantedLeases:   d.granted,
@@ -431,6 +580,8 @@ func (d *dispatch) Stats() DispatchStats {
 			st.Done++
 		case pointLeased:
 			st.Leased++
+		case pointHeld:
+			st.Held++
 		default:
 			st.Pending++
 		}
@@ -467,46 +618,67 @@ func (d *dispatch) activeLeases() []LeaseInfo {
 	return out
 }
 
+// lockedRead wraps a read for func-backed instruments: take d.mu and
+// sweep expired leases first, so a scrape of an idle coordinator
+// reports crashed workers' leases as expired — never as live —
+// exactly as /v1/statsz does. (Safe at scrape time: the registry
+// invokes callbacks without its own lock held.)
+func (d *dispatch) lockedRead(read func() float64) func() float64 {
+	return func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.expireLocked()
+		return read()
+	}
+}
+
+// registerBackendLocked registers the per-backend plan/done gauges the
+// first time a backend name appears. The callbacks scan live dispatch
+// state — not a snapshot — so campaigns enqueued after registration
+// are folded into existing series automatically, and a backend that
+// first appears in a later campaign gets its series the moment
+// addCampaign sees it. Caller holds d.mu.
+func (d *dispatch) registerBackendLocked(b string) {
+	if d.knownBackends == nil {
+		d.knownBackends = map[string]bool{}
+	}
+	if d.knownBackends[b] {
+		return
+	}
+	d.knownBackends[b] = true
+	count := func(match func(i int) bool) func() float64 {
+		return d.lockedRead(func() float64 {
+			n := 0
+			for i := range d.backendOf {
+				if match(i) {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
+	d.reg.GaugeFunc("campaignd_points", "plan points by simulation backend",
+		count(func(i int) bool { return d.backendOf[i] == b }), metrics.L("backend", b))
+	d.reg.GaugeFunc("campaignd_points_done", "plan points completed (result durably in the store) by backend",
+		count(func(i int) bool { return d.backendOf[i] == b && d.state[i] == pointDone }),
+		metrics.L("backend", b))
+}
+
 // registerMetrics exposes the queue on reg as func-backed instruments,
 // so the dispatch state under d.mu stays the single source of truth.
-// backendOf[i] names the backend plan point i resolves to; the
-// per-backend plan/done gauges are what lets a scraper reconcile
-// campaign progress against merged-CSV accounting. Every locked
-// callback sweeps expired leases first, so a scrape of an idle
-// coordinator reports crashed workers' leases as expired — never as
-// live — exactly as /v1/statsz does.
-func (d *dispatch) registerMetrics(reg *metrics.Registry, backendOf []string) {
+// The per-backend plan/done gauges are what lets a scraper reconcile
+// campaign progress against merged-CSV accounting; backends appearing
+// in campaigns enqueued later register their series lazily.
+func (d *dispatch) registerMetrics(reg *metrics.Registry) {
 	d.mu.Lock()
+	d.reg = reg
 	d.queueWait = reg.Histogram("campaignd_queue_wait_seconds",
 		"seconds a plan point waited in the queue before being leased", metrics.DurationBuckets)
+	for _, b := range d.backendOf {
+		d.registerBackendLocked(b)
+	}
 	d.mu.Unlock()
-	locked := func(read func() float64) func() float64 {
-		return func() float64 {
-			d.mu.Lock()
-			defer d.mu.Unlock()
-			d.expireLocked()
-			return read()
-		}
-	}
-	byBackend := map[string][]int{}
-	for i, b := range backendOf {
-		byBackend[b] = append(byBackend[b], i)
-	}
-	for b, idx := range byBackend {
-		idx := idx
-		reg.GaugeFunc("campaignd_points", "plan points by simulation backend",
-			func() float64 { return float64(len(idx)) }, metrics.L("backend", b))
-		reg.GaugeFunc("campaignd_points_done", "plan points completed (result durably in the store) by backend",
-			locked(func() float64 {
-				n := 0
-				for _, i := range idx {
-					if d.state[i] == pointDone {
-						n++
-					}
-				}
-				return float64(n)
-			}), metrics.L("backend", b))
-	}
+	locked := d.lockedRead
 	countState := func(want pointState) func() float64 {
 		return locked(func() float64 {
 			n := 0
@@ -520,6 +692,9 @@ func (d *dispatch) registerMetrics(reg *metrics.Registry, backendOf []string) {
 	}
 	reg.GaugeFunc("campaignd_queue_pending", "plan points waiting to be leased", countState(pointPending))
 	reg.GaugeFunc("campaignd_points_leased", "plan points owned by live leases", countState(pointLeased))
+	reg.GaugeFunc("campaignd_points_held", "open-loop plan points declared but not yet arrived", countState(pointHeld))
+	reg.GaugeFunc("campaignd_campaigns_active", "enqueued campaigns with incomplete points",
+		locked(func() float64 { return float64(d.activeCampaignsLocked()) }))
 	reg.GaugeFunc("campaignd_leases_live", "live (unexpired) leases",
 		locked(func() float64 { return float64(len(d.leases)) }))
 	reg.GaugeFunc("campaignd_lease_batch", "points the next lease would be granted",
@@ -539,4 +714,6 @@ func (d *dispatch) registerMetrics(reg *metrics.Registry, backendOf []string) {
 		src := c.src
 		reg.CounterFunc(c.name, c.help, locked(func() float64 { return float64(*src) }))
 	}
+	reg.CounterFunc("campaignd_campaigns_total", "campaigns enqueued over the coordinator's lifetime",
+		locked(func() float64 { return float64(d.nCamps) }))
 }

@@ -23,11 +23,13 @@ func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 func testDispatch(n int, ttl time.Duration, batch int, clk *fakeClock) *dispatch {
 	points := make([]experiments.Point, n)
 	hashes := make([]string, n)
+	backends := make([]string, n)
 	for i := range points {
 		points[i] = experiments.Point{Bench: fmt.Sprintf("B%d", i)}
 		hashes[i] = fmt.Sprintf("hash-%d", i)
+		backends[i] = "detailed"
 	}
-	return newDispatch(points, hashes, ttl, batch, clk.now)
+	return newDispatch(points, hashes, backends, ttl, batch, clk.now)
 }
 
 func mustLease(t *testing.T, d *dispatch, worker string, want []int) string {
@@ -259,7 +261,7 @@ func TestQueueWaitHistogram(t *testing.T) {
 	clk := newFakeClock()
 	d := testDispatch(4, time.Minute, 2, clk)
 	reg := metrics.NewRegistry()
-	d.registerMetrics(reg, []string{"detailed", "detailed", "detailed", "detailed"})
+	d.registerMetrics(reg)
 
 	waits := func() (count float64, sum float64) {
 		t.Helper()

@@ -72,6 +72,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"sharedicache/internal/experiments"
@@ -137,17 +138,26 @@ type ServerConfig struct {
 	now func() time.Time
 }
 
-// Server coordinates one campaign. Create with New, expose with
-// Handler, merge with Stream.
+// Server coordinates campaigns: the initial plan New is given, plus
+// any number of campaigns enqueued over POST /v1/campaign while
+// serving. Create with New, expose with Handler, merge the initial
+// plan with Stream.
 type Server struct {
 	runner  *experiments.Runner
 	store   *runstore.Store
-	points  []experiments.Point
+	points  []experiments.Point // the initial campaign's plan
 	d       *dispatch
 	mux     *http.ServeMux
 	metrics *metrics.Registry
 	tracer  *tracing.Tracer
 	reports *simreport.Collector
+	now     func() time.Time
+
+	// campMu guards the enqueued-campaign records; the dispatch queue
+	// itself has its own lock.
+	campMu     sync.Mutex
+	campaigns  map[int]*campaign
+	arrivalLag *metrics.Histogram
 }
 
 // CampaignInfo is the dispatch-plane handshake: everything a worker
@@ -228,9 +238,11 @@ func New(cfg ServerConfig) (*Server, error) {
 		cfg.now = time.Now
 	}
 	s := &Server{
-		runner: cfg.Runner,
-		store:  cfg.Store,
-		points: append([]experiments.Point(nil), cfg.Points...),
+		runner:    cfg.Runner,
+		store:     cfg.Store,
+		points:    append([]experiments.Point(nil), cfg.Points...),
+		now:       cfg.now,
+		campaigns: map[int]*campaign{},
 	}
 	// Every plan point's backend must be registered in THIS process:
 	// the coordinator's store keys embed the backend's versioned
@@ -254,7 +266,7 @@ func New(cfg ServerConfig) (*Server, error) {
 	for i, pt := range s.points {
 		hashes[i] = cfg.Runner.PointKey(pt).Hex()
 	}
-	s.d = newDispatch(s.points, hashes, cfg.TTL, cfg.Batch, cfg.now)
+	s.d = newDispatch(s.points, hashes, backendOf, cfg.TTL, cfg.Batch, cfg.now)
 	s.tracer = cfg.Tracer
 	s.d.tracer = cfg.Tracer
 	s.reports = cfg.Reports
@@ -263,7 +275,17 @@ func New(cfg ServerConfig) (*Server, error) {
 	}
 	s.metrics = cfg.Metrics
 	cfg.Store.RegisterMetrics(s.metrics)
-	s.d.registerMetrics(s.metrics, backendOf)
+	s.d.registerMetrics(s.metrics)
+	// Registered up front — not on first observation — so the family is
+	// scrapeable (with zero counts) before any open-loop campaign runs.
+	s.arrivalLag = s.metrics.Histogram("campaignd_arrival_lag_seconds",
+		"seconds an open-loop submission lagged its trace-dictated arrival time", metrics.DurationBuckets)
+	// The initial plan is campaign 0; record it so GET /v1/campaign/0
+	// reports its progress (its merge stays with the driver's Stream —
+	// no row metadata here, so its /csv endpoint 404s).
+	s.campMu.Lock()
+	s.campaigns[0] = &campaign{id: 0, name: "initial", points: s.points, accepted: cfg.now()}
+	s.campMu.Unlock()
 	// Resume: points whose results already sit in the store are done —
 	// the campaign's source of truth is the store, not the queue.
 	for i := range s.points {
@@ -277,6 +299,10 @@ func New(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/index", s.handleIndex)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /v1/campaign", s.handleCampaign)
+	s.mux.HandleFunc("POST /v1/campaign", s.handleEnqueueCampaign)
+	s.mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
+	s.mux.HandleFunc("GET /v1/campaign/{id}/csv", s.handleCampaignCSV)
+	s.mux.HandleFunc("POST /v1/campaign/{id}/arrive", s.handleArrive)
 	s.mux.HandleFunc("POST /v1/lease", s.handleLease)
 	s.mux.HandleFunc("POST /v1/renew", s.handleRenew)
 	s.mux.HandleFunc("POST /v1/release", s.handleRelease)
@@ -329,6 +355,9 @@ func (s *Server) Stats() Statsz {
 			Done:            int(sumOf("campaignd_points_done")),
 			Leased:          int(intOf("campaignd_points_leased")),
 			Pending:         int(intOf("campaignd_queue_pending")),
+			Held:            int(intOf("campaignd_points_held")),
+			Campaigns:       int(intOf("campaignd_campaigns_total")),
+			ActiveCampaigns: int(intOf("campaignd_campaigns_active")),
 			Leases:          int(intOf("campaignd_leases_live")),
 			ExpiredLeases:   intOf("campaignd_leases_expired_total"),
 			GrantedLeases:   intOf("campaignd_leases_granted_total"),
@@ -461,8 +490,10 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(tracing.Header, sc.String())
 	}
 	resp := LeaseGrant{Lease: id, TTLMillis: s.d.ttl.Milliseconds(), Done: allDone}
-	for _, i := range indexes {
-		resp.Points = append(resp.Points, LeasedPoint{Index: i, Point: s.points[i]})
+	// Points come off the dispatch queue, not s.points: a granted index
+	// may belong to a campaign enqueued after startup.
+	for k, pt := range s.d.pointsAt(indexes) {
+		resp.Points = append(resp.Points, LeasedPoint{Index: indexes[k], Point: pt})
 	}
 	writeJSON(w, resp)
 }

@@ -665,6 +665,15 @@ func (r *Runner) executeOrLoad(ctx context.Context, tr *tracing.Tracer, st Resul
 		}
 		r.countCache("store", false)
 	}
+	// A dead context must not fall through to the backend: a remote
+	// store answers a cancelled lookup with a plain miss (never an
+	// error), so without this check a cancelled campaign would still pay
+	// for a full simulation only to fail at the write-back — and the
+	// stream's terminal record would carry a wrapped persist error
+	// instead of the cancellation the consumer asked for.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Host-cost capture brackets the execution. runtime.ReadMemStats is
 	// not free, so the allocation delta is only sampled with a collector
 	// attached; it reads the process-wide counter, so the delta is

@@ -1,0 +1,96 @@
+package runstore
+
+import (
+	"testing"
+
+	"sharedicache/internal/core"
+)
+
+// fuzzSeedEntries builds a few valid wire entries — plain and
+// gzip-compressed — so the fuzzers start from the decoders' happy path
+// instead of random bytes alone.
+func fuzzSeedEntries(f *testing.F) (Key, [][]byte) {
+	k := Key{
+		Bench:   "FT",
+		Config:  core.DefaultConfig(),
+		Prewarm: true,
+		Campaign: Fingerprint{
+			Workers: 8, Instructions: 20_000, Seed: 1,
+			CharInstructions: 2_000_000, Backend: "detailed/v1",
+		},
+	}
+	plain, err := Encode(k, testResult(7))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return k, [][]byte{plain, Compress(plain)}
+}
+
+// FuzzDecodeEntry drives arbitrary bytes through the store plane's
+// untrusted-entry decoder (every PUT body crosses it): it must return
+// ok with a self-consistent entry or reject, never panic — and an
+// accepted entry must survive a re-encode under its own key, the
+// property the coordinator's content-address check relies on.
+func FuzzDecodeEntry(f *testing.F) {
+	_, seeds := fuzzSeedEntries(f)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Add([]byte{})
+	f.Add([]byte(`{"Version":2}`))
+	f.Add([]byte{0x1f, 0x8b, 0xff, 0x00})
+	f.Add([]byte(`{"Version":2,"Key":{"Bench":"FT"},"Result":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, res, ok := DecodeEntry(data)
+		if !ok {
+			return
+		}
+		if res == nil {
+			t.Fatal("DecodeEntry returned ok with a nil result")
+		}
+		plain, err := Encode(k, res)
+		if err != nil {
+			t.Fatalf("accepted entry failed to re-encode: %v", err)
+		}
+		k2, res2, ok := DecodeEntry(plain)
+		if !ok || k2 != k || res2 == nil {
+			t.Fatalf("re-encoded entry failed to decode: ok=%v key match=%v", ok, k2 == k)
+		}
+		if k.Hex() != k2.Hex() {
+			t.Fatal("content address changed across a re-encode")
+		}
+	})
+}
+
+// FuzzDecode drives arbitrary bytes through the key-checked decoder
+// (every store-plane GET response crosses it in RemoteStore): anything
+// it accepts must decode to the wanted key's entry; everything else is
+// a miss, never a panic. The key mismatch path is exercised by seeding
+// a valid entry and fuzzing against a different wanted key too.
+func FuzzDecode(f *testing.F) {
+	k, seeds := fuzzSeedEntries(f)
+	for _, s := range seeds {
+		f.Add(s, true)
+		f.Add(s, false)
+	}
+	f.Add([]byte{}, true)
+	f.Add([]byte("not json"), false)
+	f.Fuzz(func(t *testing.T, data []byte, matchKey bool) {
+		want := k
+		if !matchKey {
+			want.Bench = "UA"
+			want.Campaign.Seed++
+		}
+		res, ok := Decode(data, want)
+		if !ok {
+			return
+		}
+		if res == nil {
+			t.Fatal("Decode returned ok with a nil result")
+		}
+		gotKey, _, entryOK := DecodeEntry(data)
+		if !entryOK || gotKey != want {
+			t.Fatal("Decode accepted bytes whose entry key does not match the wanted key")
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadArrivals feeds arbitrary bytes to the arrival-trace parser —
+// the untrusted decoder behind `sweep -replay FILE` — requiring it to
+// terminate with rows or an error, never a panic, and requiring every
+// accepted trace to re-encode/decode losslessly (the parser must not
+// invent rows a round trip would expose).
+func FuzzReadArrivals(f *testing.F) {
+	trace, err := SynthesizeArrivals(
+		ArrivalSpec{Mode: ArrivalBurst, StartRPS: 4, BurstFactor: 3, BurstEvery: 2, Slot: time.Second},
+		[]ArrivalPoint{
+			{Bench: "FT", CPC: 8, KB: 16, LB: 4, Bus: 1},
+			{Bench: "UA", CPC: 4, KB: 32, LB: 4, Bus: 2, Backend: "analytical"},
+			{Bench: "LULESH", CPC: 2, KB: 16, LB: 8, Bus: 1, Backend: "detailed"},
+		})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := WriteArrivals(&seed, trace); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("offset_us,benchmark,cpc,size_kb,line_buffers,buses,backend\n"))
+	f.Add([]byte("offset_us,benchmark,cpc,size_kb,line_buffers,buses,backend\n0,FT,8,16,4,1,\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\"unclosed,quote\njunk"))
+	f.Add([]byte("offset_us,benchmark,cpc,size_kb,line_buffers,buses,backend\n-1,FT,8,16,4,1,\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := ReadArrivals(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var again bytes.Buffer
+		if err := WriteArrivals(&again, rows); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		back, err := ReadArrivals(bytes.NewReader(again.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v", err)
+		}
+		if len(back) != len(rows) {
+			t.Fatalf("round trip changed row count: %d -> %d", len(rows), len(back))
+		}
+		for i := range rows {
+			if back[i] != rows[i] {
+				t.Fatalf("round trip changed row %d: %+v -> %+v", i, rows[i], back[i])
+			}
+		}
+	})
+}
